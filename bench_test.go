@@ -1,0 +1,205 @@
+// Package benchmarks contains one benchmark per table and figure of the
+// paper's evaluation (Section 7), as indexed in DESIGN.md: running
+//
+//	go test -bench=. -benchmem
+//
+// at the repository root regenerates Table 1 (sampled), the Section 7.2
+// hardware-vs-IACA discrepancy analysis, and every Section 5/7.3 case study,
+// and reports the headline numbers as benchmark metrics. EXPERIMENTS.md
+// records the paper values next to the values measured here.
+package benchmarks
+
+import (
+	"sync"
+	"testing"
+
+	"uopsinfo/internal/core"
+	"uopsinfo/internal/report"
+	"uopsinfo/internal/uarch"
+)
+
+var (
+	ctxOnce sync.Once
+	ctx     *report.Context
+)
+
+// sharedContext returns the report context shared by all benchmarks (the
+// characterizers it caches are expensive to build).
+func sharedContext() *report.Context {
+	ctxOnce.Do(func() { ctx = report.NewContext() })
+	return ctx
+}
+
+// E1: Table 1 — instruction-variant counts and hardware-vs-IACA agreement.
+// One benchmark per representative generation keeps the run time bounded;
+// cmd/table1 regenerates the full table.
+func benchmarkTable1(b *testing.B, gen uarch.Generation, sampleEvery int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		row, err := report.BuildTable1Row(uarch.Get(gen), report.Table1Options{SampleEvery: sampleEvery})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(row.NumVariants), "variants")
+		b.ReportMetric(row.UopsMatchPct, "uops-match-%")
+		b.ReportMetric(row.PortsMatchPct, "ports-match-%")
+		b.Logf("Table 1 row: %+v", row)
+	}
+}
+
+func BenchmarkTable1Nehalem(b *testing.B)  { benchmarkTable1(b, uarch.Nehalem, 40) }
+func BenchmarkTable1Haswell(b *testing.B)  { benchmarkTable1(b, uarch.Haswell, 40) }
+func BenchmarkTable1Skylake(b *testing.B)  { benchmarkTable1(b, uarch.Skylake, 40) }
+func BenchmarkTable1KabyLake(b *testing.B) { benchmarkTable1(b, uarch.KabyLake, 40) }
+
+// E2: Section 7.2 — named discrepancies between the hardware measurements
+// and the IACA models (CMC, store/load, BSWAP, VHADDPD, VMINPS, SAHF, IMUL).
+func BenchmarkIACADiscrepancies(b *testing.B) {
+	c := sharedContext()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs, err := report.IACADiscrepancyStudy(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(cs.Rows)), "findings")
+		b.Logf("\n%s", cs.Format())
+	}
+}
+
+// E3: Section 7.3.1 — AESDEC per-operand-pair latencies across generations.
+func BenchmarkCaseStudyAES(b *testing.B) {
+	c := sharedContext()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs, err := report.AESLatencyStudy(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", cs.Format())
+	}
+}
+
+// E4: Section 7.3.2 — SHLD latencies and the prior-work measurement
+// conventions that explain the published disagreements.
+func BenchmarkCaseStudySHLD(b *testing.B) {
+	c := sharedContext()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs, err := report.SHLDStudy(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", cs.Format())
+	}
+}
+
+// E5: Section 7.3.3 — MOVQ2DQ port usage on Skylake.
+func BenchmarkCaseStudyMOVQ2DQ(b *testing.B) {
+	c := sharedContext()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs, err := report.MOVQ2DQStudy(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", cs.Format())
+	}
+}
+
+// E6: Section 7.3.4 — MOVDQ2Q port usage on Haswell and Sandy Bridge.
+func BenchmarkCaseStudyMOVDQ2Q(b *testing.B) {
+	c := sharedContext()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs, err := report.MOVDQ2QStudy(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", cs.Format())
+	}
+}
+
+// E7: Section 7.3.5 — instructions with multiple (per-operand-pair)
+// latencies.
+func BenchmarkCaseStudyMultiLatency(b *testing.B) {
+	c := sharedContext()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs, err := report.MultiLatencyStudy(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", cs.Format())
+	}
+}
+
+// E8: Section 7.3.6 — dependency-breaking idioms (PCMPGT family).
+func BenchmarkCaseStudyZeroIdioms(b *testing.B) {
+	c := sharedContext()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs, err := report.ZeroIdiomStudy(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", cs.Format())
+	}
+}
+
+// E9: Section 5.1 — the motivating port-usage examples (PBLENDVB on Nehalem,
+// ADC on Haswell) comparing the blocking-instruction algorithm with the
+// isolation-based prior-work attribution.
+func BenchmarkPortUsageMotivation(b *testing.B) {
+	c := sharedContext()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs, err := report.PortUsageMotivationStudy(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", cs.Format())
+	}
+}
+
+// E10: Section 5.3.2 — throughput computed from the port usage via the
+// min-max-load problem vs the measured throughput.
+func BenchmarkThroughputLP(b *testing.B) {
+	c := sharedContext()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs, err := report.ThroughputLPStudy(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", cs.Format())
+	}
+}
+
+// E11: Section 7.1 — a (sampled) full characterization run on Skylake,
+// reporting coverage; the paper reports 50-110 minutes for the full run on
+// real hardware.
+func BenchmarkFullCharacterization(b *testing.B) {
+	arch := uarch.Get(uarch.Skylake)
+	instrs := arch.InstrSet().Instrs()
+	var only []string
+	for i := 0; i < len(instrs); i += 50 {
+		only = append(only, instrs[i].Name)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := core.NewForArch(arch)
+		res, err := c.CharacterizeAll(core.Options{Only: only})
+		if err != nil {
+			b.Fatal(err)
+		}
+		characterized := 0
+		for _, r := range res.Results {
+			if r.Skipped == "" {
+				characterized++
+			}
+		}
+		b.ReportMetric(float64(len(res.Results)), "variants")
+		b.ReportMetric(float64(characterized), "fully-characterized")
+	}
+}

@@ -1,0 +1,43 @@
+// Command casestudies regenerates the case studies of Sections 5.1, 5.3.2,
+// 7.2 and 7.3 of the paper: the motivating port-usage examples, the
+// LP-computed throughput, the IACA discrepancies, the AESDEC and SHLD
+// latencies, the MOVQ2DQ/MOVDQ2Q port usage, the multi-latency instructions
+// and the dependency-breaking idioms.
+//
+// Usage:
+//
+//	casestudies [-id 7.3.1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"uopsinfo/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("casestudies: ")
+
+	id := flag.String("id", "", `run only the case study with this identifier (e.g. "7.3.1"); default: all`)
+	flag.Parse()
+
+	ctx := report.NewContext()
+	studies, err := report.AllCaseStudies(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printed := 0
+	for _, cs := range studies {
+		if *id != "" && cs.ID != *id {
+			continue
+		}
+		fmt.Println(cs.Format())
+		printed++
+	}
+	if printed == 0 {
+		log.Fatalf("no case study with id %q", *id)
+	}
+}

@@ -1,0 +1,52 @@
+// Command iacadiff compares the hardware (simulator) measurements against
+// the IACA models for one generation (Section 7.2 of the paper): it prints
+// the agreement statistics for µop counts and port usage and the named
+// discrepancy examples.
+//
+// Usage:
+//
+//	iacadiff [-arch Skylake] [-sample 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"uopsinfo/internal/iaca"
+	"uopsinfo/internal/report"
+	"uopsinfo/internal/uarch"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("iacadiff: ")
+
+	archName := flag.String("arch", "Skylake", "microarchitecture generation")
+	sample := flag.Int("sample", 20, "compare every n-th eligible instruction variant (1 = all)")
+	flag.Parse()
+
+	arch, err := uarch.ByName(*archName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	versions := iaca.SupportedVersions(arch.Gen())
+	if len(versions) == 0 {
+		log.Fatalf("%s is not supported by any IACA version (as in the paper)", arch.Name())
+	}
+	fmt.Printf("IACA versions supporting %s: %s\n\n", arch.Name(), iaca.DescribeVersions(arch.Gen()))
+
+	row, err := report.BuildTable1Row(arch, report.Table1Options{SampleEvery: *sample})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report.FormatTable1([]report.Table1Row{row}))
+
+	fmt.Println("\nNamed discrepancies (Section 7.2):")
+	ctx := report.NewContext()
+	cs, err := report.IACADiscrepancyStudy(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(cs.Format())
+}

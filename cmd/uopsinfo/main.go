@@ -1,0 +1,93 @@
+// Command uopsinfo characterizes the latency, throughput and port usage of
+// the instruction variants of one (or all) simulated Intel Core
+// microarchitecture generations and writes the results to a machine-readable
+// XML file, mirroring the output of the paper's tool (Section 6.4).
+//
+// Usage:
+//
+//	uopsinfo [-arch "Skylake"] [-out results.xml] [-sample 20] [-only ADD_R64_R64,IMUL_R64_R64] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"uopsinfo/internal/core"
+	"uopsinfo/internal/iaca"
+	"uopsinfo/internal/uarch"
+	"uopsinfo/internal/xmlout"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("uopsinfo: ")
+
+	archName := flag.String("arch", "Skylake", `microarchitecture to characterize (e.g. "Skylake", "Sandy Bridge") or "all"`)
+	out := flag.String("out", "results.xml", "output XML file")
+	sample := flag.Int("sample", 25, "characterize every n-th instruction variant (1 = all, slower)")
+	only := flag.String("only", "", "comma-separated list of variant names to characterize (overrides -sample)")
+	quick := flag.Bool("quick", false, "skip the per-operand-pair latency measurements")
+	verbose := flag.Bool("v", false, "print progress")
+	flag.Parse()
+
+	var archs []*uarch.Arch
+	if *archName == "all" {
+		archs = uarch.All()
+	} else {
+		a, err := uarch.ByName(*archName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		archs = []*uarch.Arch{a}
+	}
+
+	doc := &xmlout.Document{}
+	for _, arch := range archs {
+		start := time.Now()
+		c := core.NewForArch(arch)
+		opts := core.Options{SkipLatency: *quick}
+		if *only != "" {
+			opts.Only = strings.Split(*only, ",")
+		} else if *sample > 1 {
+			instrs := arch.InstrSet().Instrs()
+			for i := 0; i < len(instrs); i += *sample {
+				opts.Only = append(opts.Only, instrs[i].Name)
+			}
+		}
+		if *verbose {
+			opts.Progress = func(done, total int, name string) {
+				if done%50 == 0 || done == total {
+					log.Printf("%s: %d/%d (%s)", arch.Name(), done, total, name)
+				}
+			}
+		}
+		res, err := c.CharacterizeAll(opts)
+		if err != nil {
+			log.Fatalf("%s: %v", arch.Name(), err)
+		}
+		var analyzers []*iaca.Analyzer
+		for _, v := range iaca.SupportedVersions(arch.Gen()) {
+			a, err := iaca.New(v, arch)
+			if err != nil {
+				log.Fatal(err)
+			}
+			analyzers = append(analyzers, a)
+		}
+		doc.Architectures = append(doc.Architectures, xmlout.FromArchResult(res, analyzers))
+		log.Printf("%s: characterized %d variants in %v", arch.Name(), len(res.Results), time.Since(start).Round(time.Millisecond))
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := xmlout.Write(f, doc); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -1,0 +1,59 @@
+// Latency-pairs example: demonstrates the paper's per-operand-pair latency
+// definition on the two headline case studies. AESDEC has different latencies
+// from its two source operands on Sandy Bridge and Ivy Bridge (8 vs ~1
+// cycles), and SHLD has different latencies on Nehalem (3 vs 4 cycles) and a
+// same-register fast path on Skylake — both invisible to a single-number
+// latency.
+//
+// Run with:
+//
+//	go run ./examples/latencypairs
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uopsinfo/internal/core"
+	"uopsinfo/internal/uarch"
+)
+
+func printLatencies(gen uarch.Generation, name string) {
+	arch := uarch.Get(gen)
+	in := arch.InstrSet().Lookup(name)
+	if in == nil {
+		fmt.Printf("%s: not available on %s\n\n", name, arch.Name())
+		return
+	}
+	char := core.NewForArch(arch)
+	lat, err := char.Latency(in)
+	if err != nil {
+		log.Fatalf("%s on %s: %v", name, arch.Name(), err)
+	}
+	fmt.Printf("%s on %s\n", name, arch.Name())
+	for _, p := range lat.Pairs {
+		suffix := ""
+		if p.SameRegister {
+			suffix = " (same register for both operands)"
+		}
+		if p.UpperBound {
+			suffix = " (upper bound)"
+		}
+		fmt.Printf("  lat(%s -> %s) = %.1f cycles%s\n", p.SourceName, p.DestName, p.Cycles, suffix)
+	}
+	fmt.Println()
+}
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("== AESDEC XMM1, XMM2 (Section 7.3.1) ==")
+	for _, gen := range []uarch.Generation{uarch.Westmere, uarch.SandyBridge, uarch.Haswell, uarch.Skylake} {
+		printLatencies(gen, "AESDEC_XMM_XMM")
+	}
+
+	fmt.Println("== SHLD R1, R2, imm (Section 7.3.2) ==")
+	for _, gen := range []uarch.Generation{uarch.Nehalem, uarch.Skylake} {
+		printLatencies(gen, "SHLD_R64_R64_I8")
+	}
+}

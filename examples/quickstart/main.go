@@ -1,0 +1,67 @@
+// Quickstart: characterize a handful of instructions on the simulated
+// Skylake microarchitecture and print their µop count, port usage,
+// operand-pair latencies and throughput.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uopsinfo/internal/core"
+	"uopsinfo/internal/uarch"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Build the characterizer for Skylake: the simulator plays the role of
+	// the hardware, and the measurement harness implements the paper's
+	// kernel-space measurement protocol on top of it.
+	arch := uarch.Get(uarch.Skylake)
+	char := core.NewForArch(arch)
+
+	names := []string{
+		"ADD_R64_R64",       // simple ALU instruction, four ports
+		"IMUL_R64_R64",      // single-port multiply, latency 3
+		"ADD_R64_M64",       // memory source operand
+		"AESDEC_XMM_XMM",    // AES round
+		"MOVQ2DQ_XMM_MM",    // the Section 7.3.3 case study
+		"DIV_R64",           // divider-based, value-dependent latency
+		"PSHUFD_XMM_XMM_I8", // shuffle, port 5 only
+	}
+
+	for _, name := range names {
+		in := arch.InstrSet().Lookup(name)
+		if in == nil {
+			log.Fatalf("instruction %s not available on %s", name, arch.Name())
+		}
+		res, err := char.CharacterizeInstr(in)
+		if err != nil {
+			log.Fatalf("characterizing %s: %v", name, err)
+		}
+		fmt.Printf("%s  (%s)\n", res.Name, in.Signature())
+		fmt.Printf("  µops:       %.2f (issued %.2f)\n", res.Uops, res.UopsIssued)
+		fmt.Printf("  ports:      %s\n", res.Ports)
+		fmt.Printf("  throughput: measured %.2f c/i, computed from ports %.2f c/i\n",
+			res.Throughput.Measured, res.Throughput.Computed)
+		for _, p := range res.Latency.Pairs {
+			kind := ""
+			if p.SameRegister {
+				kind = " (same register)"
+			}
+			if p.UpperBound {
+				kind = " (upper bound)"
+			}
+			extra := ""
+			if p.FastValueCycles > 0 {
+				extra = fmt.Sprintf(", %.1f with fast operand values", p.FastValueCycles)
+			}
+			fmt.Printf("  latency:    %s -> %s = %.1f cycles%s%s\n", p.SourceName, p.DestName, p.Cycles, extra, kind)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,107 @@
+package asmgen
+
+import (
+	"fmt"
+
+	"uopsinfo/internal/isa"
+)
+
+// DefaultReserved is the set of registers the measurement harness keeps for
+// itself (stack and base pointer, plus the two registers Algorithm 2 reserves
+// for the saved state and the performance-counter data). Benchmark code must
+// not use them.
+var DefaultReserved = []isa.Reg{isa.RSP, isa.RBP, isa.R14, isa.R15}
+
+// Allocator hands out architectural registers for benchmark code while
+// avoiding unwanted dependencies: registers can be requested "fresh" (never
+// handed out before, to guarantee independence between instructions) or
+// "reused" (any non-reserved register not explicitly avoided).
+type Allocator struct {
+	reserved map[isa.Reg]bool // keyed by register family
+	used     map[isa.Reg]bool // keyed by register family
+}
+
+// NewAllocator returns an allocator with the given reserved registers (in
+// addition to nothing else). Pass DefaultReserved... for benchmark code.
+func NewAllocator(reserved ...isa.Reg) *Allocator {
+	a := &Allocator{
+		reserved: make(map[isa.Reg]bool),
+		used:     make(map[isa.Reg]bool),
+	}
+	for _, r := range reserved {
+		a.reserved[r.Family()] = true
+	}
+	return a
+}
+
+// Reset forgets which registers have been handed out (but keeps the reserved
+// set).
+func (a *Allocator) Reset() { a.used = make(map[isa.Reg]bool) }
+
+// MarkUsed records that the family of r has been handed out, so Fresh will
+// not return it again.
+func (a *Allocator) MarkUsed(r isa.Reg) { a.used[r.Family()] = true }
+
+// Fresh returns a register of the given class whose family has not been
+// handed out before and is not in avoid. The returned register's family is
+// recorded as used.
+func (a *Allocator) Fresh(class isa.RegClass, avoid ...isa.Reg) (isa.Reg, error) {
+	r, err := a.pick(class, true, avoid)
+	if err != nil {
+		return isa.RegNone, err
+	}
+	a.used[r.Family()] = true
+	return r, nil
+}
+
+// Reuse returns a register of the given class that is not reserved and whose
+// family is not in avoid; it may have been handed out before.
+func (a *Allocator) Reuse(class isa.RegClass, avoid ...isa.Reg) (isa.Reg, error) {
+	return a.pick(class, false, avoid)
+}
+
+func (a *Allocator) pick(class isa.RegClass, fresh bool, avoid []isa.Reg) (isa.Reg, error) {
+	avoidFam := make(map[isa.Reg]bool, len(avoid))
+	for _, r := range avoid {
+		avoidFam[r.Family()] = true
+	}
+	for _, r := range isa.RegistersOfClass(class) {
+		fam := r.Family()
+		if a.reserved[fam] || avoidFam[fam] {
+			continue
+		}
+		if fresh && a.used[fam] {
+			continue
+		}
+		return r, nil
+	}
+	if fresh {
+		// Fall back to reuse if the class is exhausted; independence cannot
+		// be guaranteed, but a valid instruction can still be produced.
+		return a.pick(class, false, avoid)
+	}
+	return isa.RegNone, fmt.Errorf("asmgen: no available register of class %s", class)
+}
+
+// MemArena hands out distinct virtual addresses for memory operands. All
+// addresses are 64-byte aligned so that distinct allocations never share a
+// cache line.
+type MemArena struct {
+	next uint64
+}
+
+// NewMemArena returns an arena starting at a fixed base address.
+func NewMemArena() *MemArena {
+	return &MemArena{next: 0x100000}
+}
+
+// Alloc returns a fresh address for an operand of the given size in bytes.
+func (m *MemArena) Alloc(size int) uint64 {
+	if size <= 0 {
+		size = 8
+	}
+	addr := m.next
+	blocks := uint64((size + 63) / 64)
+	m.next += blocks * 64
+	return addr
+}

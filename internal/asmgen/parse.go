@@ -1,0 +1,159 @@
+package asmgen
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"uopsinfo/internal/isa"
+)
+
+// This file implements parsing of Intel-syntax assembler text back into
+// concrete instructions, the inverse of Inst.String. It lets the simulator
+// and the IACA model analyze user-written loop kernels (the way the real IACA
+// is used), not just generated microbenchmarks.
+
+// ParseError reports a syntax or lookup error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("asmgen: line %d: %s", e.Line, e.Msg) }
+
+// ParseSequence parses one instruction per line (Intel syntax, as produced by
+// Inst.String; empty lines and lines starting with '#' or ';' are ignored)
+// against the given instruction set. Memory operands of the form [REG] are
+// assigned distinct addresses per base register.
+func ParseSequence(set *isa.Set, text string) (Sequence, error) {
+	var seq Sequence
+	arena := NewMemArena()
+	addrs := make(map[isa.Reg]uint64)
+	scanner := bufio.NewScanner(strings.NewReader(text))
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, ";") {
+			continue
+		}
+		inst, err := parseLine(set, line, arena, addrs)
+		if err != nil {
+			return nil, &ParseError{Line: lineNo, Msg: err.Error()}
+		}
+		seq = append(seq, inst)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return seq, nil
+}
+
+func parseLine(set *isa.Set, line string, arena *MemArena, addrs map[isa.Reg]uint64) (*Inst, error) {
+	mnemonic := line
+	rest := ""
+	if idx := strings.IndexAny(line, " \t"); idx >= 0 {
+		mnemonic = line[:idx]
+		rest = strings.TrimSpace(line[idx:])
+	}
+	mnemonic = strings.ToUpper(mnemonic)
+	var operands []string
+	if rest != "" {
+		for _, part := range strings.Split(rest, ",") {
+			operands = append(operands, strings.TrimSpace(part))
+		}
+	}
+	// Parse the operand texts into concrete operands first.
+	var parsed []parsedOperand
+	for _, text := range operands {
+		switch {
+		case strings.HasPrefix(text, "[") && strings.HasSuffix(text, "]"):
+			base := isa.ParseReg(strings.ToUpper(strings.TrimSpace(text[1 : len(text)-1])))
+			if base == isa.RegNone || base.Class() != isa.ClassGPR64 {
+				return nil, fmt.Errorf("memory operand %q must use a 64-bit base register", text)
+			}
+			parsed = append(parsed, parsedOperand{mem: base, isMem: true})
+		default:
+			if r := isa.ParseReg(strings.ToUpper(text)); r != isa.RegNone {
+				parsed = append(parsed, parsedOperand{reg: r})
+				continue
+			}
+			v, err := strconv.ParseInt(text, 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("operand %q is neither a register, a memory operand nor an immediate", text)
+			}
+			parsed = append(parsed, parsedOperand{imm: v, isImm: true})
+		}
+	}
+	// Find the instruction variant whose explicit operand shape matches.
+	variant := matchVariant(set, mnemonic, parsed)
+	if variant == nil {
+		return nil, fmt.Errorf("no variant of %s matches operands %v", mnemonic, operands)
+	}
+	expl := variant.ExplicitOperands()
+	ops := make([]Operand, len(expl))
+	for i, p := range parsed {
+		switch {
+		case p.isMem:
+			addr, ok := addrs[p.mem.Family()]
+			if !ok {
+				addr = arena.Alloc(expl[i].Width / 8)
+				addrs[p.mem.Family()] = addr
+			}
+			ops[i] = MemOperand(p.mem, addr)
+		case p.isImm:
+			ops[i] = ImmOperand(p.imm)
+		default:
+			ops[i] = RegOperand(p.reg)
+		}
+	}
+	return NewInst(variant, ops...)
+}
+
+// parsedOperand is one textual operand after classification.
+type parsedOperand struct {
+	reg   isa.Reg
+	mem   isa.Reg // base register of a memory operand
+	isMem bool
+	imm   int64
+	isImm bool
+}
+
+// matchVariant selects the instruction variant whose explicit operands are
+// compatible with the parsed operand kinds and register classes.
+func matchVariant(set *isa.Set, mnemonic string, parsed []parsedOperand) *isa.Instr {
+	for _, cand := range set.ByMnemonic(mnemonic) {
+		expl := cand.ExplicitOperands()
+		if len(expl) != len(parsed) {
+			continue
+		}
+		ok := true
+		for i, spec := range expl {
+			p := parsed[i]
+			switch spec.Kind {
+			case isa.OpReg:
+				if p.isMem || p.isImm || p.reg.Class() != spec.Class {
+					ok = false
+				}
+			case isa.OpMem:
+				if !p.isMem {
+					ok = false
+				}
+			case isa.OpImm:
+				if !p.isImm {
+					ok = false
+				}
+			default:
+				ok = false
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			return cand
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package asmgen
+
+import (
+	"strings"
+	"testing"
+
+	"uopsinfo/internal/isa"
+	"uopsinfo/internal/xedspec"
+)
+
+func TestParseSequenceBasic(t *testing.T) {
+	set := xedspec.MustFullISA()
+	text := `
+# a small loop kernel
+ADD RAX, RBX
+IMUL RCX, RDX
+MOV RSI, [RDI]
+SHLD RAX, RBX, 5
+ADDPS XMM1, XMM2
+MOV [RDI], RSI
+CMC
+`
+	seq, err := ParseSequence(set, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 7 {
+		t.Fatalf("parsed %d instructions, want 7", len(seq))
+	}
+	wantVariants := []string{
+		"ADD_R64_R64", "IMUL_R64_R64", "MOV_R64_M64", "SHLD_R64_R64_I8",
+		"ADDPS_XMM_XMM", "MOV_M64_R64", "CMC",
+	}
+	for i, want := range wantVariants {
+		if seq[i].Variant.Name != want {
+			t.Errorf("instruction %d: variant %s, want %s", i, seq[i].Variant.Name, want)
+		}
+	}
+	// Memory operands with the same base register share an address.
+	loadAddr := seq[2].Ops[1].Mem.Addr
+	storeAddr := seq[5].Ops[0].Mem.Addr
+	if loadAddr != storeAddr {
+		t.Errorf("load and store through [RDI] should share an address: %#x vs %#x", loadAddr, storeAddr)
+	}
+	// Round trip through String and back.
+	again, err := ParseSequence(set, seq.String())
+	if err != nil {
+		t.Fatalf("re-parsing printed sequence: %v", err)
+	}
+	if len(again) != len(seq) {
+		t.Fatalf("round trip lost instructions")
+	}
+	for i := range seq {
+		if again[i].Variant.Name != seq[i].Variant.Name {
+			t.Errorf("round trip changed instruction %d: %s vs %s", i, again[i].Variant.Name, seq[i].Variant.Name)
+		}
+	}
+}
+
+func TestParseSequencePicksWidthByRegister(t *testing.T) {
+	set := xedspec.MustFullISA()
+	seq, err := ParseSequence(set, "ADD EAX, EBX\nADD AX, BX\nADD AL, BL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"ADD_R32_R32", "ADD_R16_R16", "ADD_R8_R8"}
+	for i, w := range want {
+		if seq[i].Variant.Name != w {
+			t.Errorf("line %d: variant %s, want %s", i, seq[i].Variant.Name, w)
+		}
+	}
+}
+
+func TestParseSequenceErrors(t *testing.T) {
+	set := xedspec.MustFullISA()
+	cases := []string{
+		"FROBNICATE RAX, RBX", // unknown mnemonic
+		"ADD RAX",             // wrong operand count
+		"ADD RAX, XMM1",       // wrong operand class
+		"MOV RAX, [EBX]",      // 32-bit base register
+		"ADD RAX, notanumber", // garbage operand
+	}
+	for _, text := range cases {
+		if _, err := ParseSequence(set, text); err == nil {
+			t.Errorf("ParseSequence accepted %q", text)
+		} else if !strings.Contains(err.Error(), "line 1") {
+			t.Errorf("error for %q should mention the line number: %v", text, err)
+		}
+	}
+}
+
+func TestParsedSequenceRunsOnSimulator(t *testing.T) {
+	set := xedspec.MustFullISA()
+	seq, err := ParseSequence(set, "MOV RAX, [RAX]\nMOV RAX, [RAX]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both loads use RAX as base and therefore the same address and a real
+	// register dependency.
+	if seq[0].Ops[1].Mem.Addr != seq[1].Ops[1].Mem.Addr {
+		t.Error("pointer-chasing loads should share the address")
+	}
+	_ = isa.RAX
+}

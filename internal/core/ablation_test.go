@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+
+	"uopsinfo/internal/asmgen"
+	"uopsinfo/internal/isa"
+	"uopsinfo/internal/uarch"
+)
+
+// Ablation tests for the design choices called out in DESIGN.md: why MOVSX is
+// used for latency chains instead of MOV, and why the measurement protocol's
+// copy differencing matters.
+
+func TestAblationMOVChainUnreliableDueToMoveElimination(t *testing.T) {
+	// Section 5.2.1: MOV chains are unreliable because a fraction of the
+	// dependent moves is eliminated at rename, so a chain of MOVs runs
+	// faster than one cycle per move; MOVSX is never eliminated.
+	c := charFor(t, uarch.Skylake)
+	h := c.Harness()
+
+	mov := variant(t, c, "MOV_R64_R64")
+	movsx := variant(t, c, "MOVSX_R64_R16")
+
+	regs := []isa.Reg{isa.RAX, isa.RBX, isa.RCX}
+	var movChain, movsxChain asmgen.Sequence
+	for i := 0; i < 12; i++ {
+		dst := regs[(i+1)%3]
+		src := regs[i%3]
+		movChain = append(movChain, asmgen.MustInst(mov, asmgen.RegOperand(dst), asmgen.RegOperand(src)))
+		movsxChain = append(movsxChain, asmgen.MustInst(movsx,
+			asmgen.RegOperand(dst), asmgen.RegOperand(src.InFamily(isa.ClassGPR16))))
+	}
+	movRes, err := h.Measure(movChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	movsxRes, err := h.Measure(movsxChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	movPer := movRes.Cycles / 12
+	movsxPer := movsxRes.Cycles / 12
+	if movsxPer < 0.9 || movsxPer > 1.1 {
+		t.Errorf("MOVSX chain = %.2f cycles per link, want exactly 1", movsxPer)
+	}
+	if movPer >= movsxPer {
+		t.Errorf("MOV chain (%.2f) should be faster than MOVSX chain (%.2f) because some moves are eliminated"+
+			" — which is exactly why MOV is unsuitable as a chain instruction", movPer, movsxPer)
+	}
+}
+
+func TestAblationDifferencingRemovesOverheadBias(t *testing.T) {
+	// Without the n/n+100 copy differencing of Algorithm 2, the constant
+	// overhead of the serializing instructions and counter reads biases the
+	// per-instruction cycle count upward.
+	c := charFor(t, uarch.Skylake)
+	h := c.Harness()
+	add := variant(t, c, "ADD_R64_R64")
+	seq := asmgen.Sequence{asmgen.MustInst(add, asmgen.RegOperand(isa.RAX), asmgen.RegOperand(isa.RBX))}
+
+	// Protocol measurement: about 0.25-1 cycles per ADD.
+	res, err := h.Measure(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw single run including overhead: much larger.
+	raw, err := h.Runner().Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawWithOverhead := float64(raw.Cycles) + float64(h.Config().OverheadCycles)
+	if res.Cycles >= rawWithOverhead {
+		t.Errorf("protocol measurement (%.2f) should be far below the raw reading with overhead (%.2f)",
+			res.Cycles, rawWithOverhead)
+	}
+	if res.Cycles > 2 {
+		t.Errorf("protocol measurement of a single ADD = %.2f cycles, want about 1 or less", res.Cycles)
+	}
+}
+
+func TestAblationBlockingVersusIsolationOnGroundTruth(t *testing.T) {
+	// For a sample of Skylake instructions, Algorithm 1 must match the
+	// ground truth exactly, while the isolation observation alone (average
+	// µops per port) cannot distinguish combined port groups. This is the
+	// quantitative version of the Section 5.1 argument.
+	c := charFor(t, uarch.Skylake)
+	names := []string{"MOVQ2DQ_XMM_MM", "ADD_R64_R64", "PADDD_XMM_XMM", "IMUL_R64_R64"}
+	for _, name := range names {
+		in := variant(t, c, name)
+		pu, err := c.PortUsage(in, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		truth := GroundTruthUsage(c.Arch().Perf(in))
+		if !pu.Equal(truth) {
+			t.Errorf("%s: Algorithm 1 got %v, ground truth %v", name, pu, truth)
+		}
+	}
+}
+
+// Benchmarks for the inference algorithms themselves (cost per instruction).
+
+func benchChar(b *testing.B) *Characterizer {
+	b.Helper()
+	charMu.Lock()
+	defer charMu.Unlock()
+	if c, ok := charCache[uarch.Skylake]; ok {
+		return c
+	}
+	c := NewForArch(uarch.Get(uarch.Skylake))
+	if err := c.ensureBlocking(); err != nil {
+		b.Fatal(err)
+	}
+	charCache[uarch.Skylake] = c
+	return c
+}
+
+func BenchmarkPortUsageInference(b *testing.B) {
+	c := benchChar(b)
+	in := c.Arch().InstrSet().Lookup("MOVQ2DQ_XMM_MM")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.PortUsage(in, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLatencyInference(b *testing.B) {
+	c := benchChar(b)
+	in := c.Arch().InstrSet().Lookup("AESDEC_XMM_XMM")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Latency(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThroughputInference(b *testing.B) {
+	c := benchChar(b)
+	in := c.Arch().InstrSet().Lookup("ADD_R64_R64")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Throughput(in, PortUsage{"0156": 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBlockingInstructionDiscovery(b *testing.B) {
+	arch := uarch.Get(uarch.Skylake)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewForArch(arch)
+		if _, err := c.FindBlockingInstructions(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"uopsinfo/internal/asmgen"
+	"uopsinfo/internal/isa"
+	"uopsinfo/internal/uarch"
+)
+
+// BlockingInstr is a blocking instruction for a port combination: a 1-µop
+// instruction whose µop can use all ports of the combination but no others
+// (Section 5.1.1). For the store-unit combinations the 2-µop MOV-to-memory
+// instruction is used, as in the paper.
+type BlockingInstr struct {
+	Instr *isa.Instr
+	// Ports is the port combination the instruction blocks.
+	Ports []int
+	// Throughput is the measured cycles per instruction of the instruction
+	// in isolation (the selection criterion within a group).
+	Throughput float64
+	// UopsOnCombo is the number of µops one instance contributes to the
+	// blocked combination (1 for ordinary blocking instructions; also 1 for
+	// the store instruction on each of the two store combinations).
+	UopsOnCombo float64
+}
+
+// ComboKey returns the canonical key of the blocked combination.
+func (b BlockingInstr) ComboKey() string { return uarch.PortComboKey(b.Ports) }
+
+// BlockingSet holds the discovered blocking instructions, separately for use
+// with SSE and with AVX instructions (mixing the two would incur transition
+// penalties, Section 5.1.1). Instructions that are neither SSE nor AVX can
+// appear in both maps.
+type BlockingSet struct {
+	// SSE maps combination keys to blocking instructions usable when the
+	// instruction under test is an SSE (or non-vector) instruction.
+	SSE map[string]BlockingInstr
+	// AVX maps combination keys to blocking instructions usable when the
+	// instruction under test is an AVX instruction.
+	AVX map[string]BlockingInstr
+}
+
+// For returns the appropriate per-combination map for the given instruction
+// under test.
+func (bs *BlockingSet) For(in *isa.Instr) map[string]BlockingInstr {
+	if in.Extension.IsAVX() {
+		return bs.AVX
+	}
+	return bs.SSE
+}
+
+// Combos returns the port combinations of the given map sorted by size (and
+// lexicographically within a size), the iteration order required by
+// Algorithm 1.
+func sortedCombos(m map[string]BlockingInstr) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if len(keys[i]) != len(keys[j]) {
+			return len(keys[i]) < len(keys[j])
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}
+
+// blockingCandidate reports whether the variant may serve as an ordinary
+// (non-store) blocking-instruction candidate: the paper excludes system
+// instructions, serializing instructions, zero-latency (eliminable)
+// instructions, PAUSE, and instructions that can change the control flow
+// based on a register value; additionally only 1-µop instructions are usable,
+// so memory operands, dividers and prefixed instructions are excluded, as are
+// instructions with an implicit operand that is both read and written (their
+// copies cannot be made independent).
+func blockingCandidate(in *isa.Instr) bool {
+	if in.IsSystem || in.IsSerializing || in.ControlFlow || in.IsNOP ||
+		in.UsesDivider || in.HasLock || in.HasRep || in.MayMoveElim {
+		return false
+	}
+	if in.Mnemonic == "PAUSE" {
+		return false
+	}
+	// Memory operands that are actually accessed make the instruction more
+	// than one µop; pure address-generation operands (LEA) are fine and LEA
+	// is in fact the only blocking candidate for the AGU-free LEA ports.
+	for _, op := range in.Operands {
+		if op.Kind == isa.OpMem && (op.Read || op.Write) {
+			return false
+		}
+	}
+	for _, op := range in.Operands {
+		if op.Implicit && op.Read && op.Write {
+			return false
+		}
+	}
+	// At least one explicit register operand is needed so that independent
+	// copies can be formed.
+	for _, op := range in.ExplicitOperands() {
+		if op.Kind == isa.OpReg {
+			return true
+		}
+	}
+	return false
+}
+
+// FindBlockingInstructions discovers the blocking instructions for all port
+// combinations by measuring every candidate in isolation, grouping the 1-µop
+// candidates by the set of ports they use, and selecting the instruction with
+// the highest throughput from each group (Section 5.1.1). MOV to memory is
+// used for the store-address and store-data combinations.
+func (c *Characterizer) FindBlockingInstructions() (*BlockingSet, error) {
+	bs := &BlockingSet{
+		SSE: make(map[string]BlockingInstr),
+		AVX: make(map[string]BlockingInstr),
+	}
+	type group struct {
+		best BlockingInstr
+		ok   bool
+	}
+	sseGroups := make(map[string]*group)
+	avxGroups := make(map[string]*group)
+
+	for _, in := range c.gen.set.Instrs() {
+		if !blockingCandidate(in) {
+			continue
+		}
+		ports, tp, uops, err := c.isolationProfile(in, 8)
+		if err != nil {
+			continue
+		}
+		if uops < 0.6 || uops > 1.4 {
+			continue // not a 1-µop instruction
+		}
+		if len(ports) == 0 {
+			continue // handled at rename; a "zero-latency" instruction
+		}
+		key := uarch.PortComboKey(ports)
+		cand := BlockingInstr{Instr: in, Ports: ports, Throughput: tp, UopsOnCombo: 1}
+		update := func(groups map[string]*group) {
+			gr, ok := groups[key]
+			if !ok {
+				groups[key] = &group{best: cand, ok: true}
+				return
+			}
+			if cand.Throughput < gr.best.Throughput {
+				gr.best = cand
+			}
+		}
+		if !in.Extension.IsAVX() {
+			update(sseGroups)
+		}
+		if !in.Extension.IsSSE() {
+			update(avxGroups)
+		}
+	}
+	for key, gr := range sseGroups {
+		bs.SSE[key] = gr.best
+	}
+	for key, gr := range avxGroups {
+		bs.AVX[key] = gr.best
+	}
+
+	// Store and load port combinations (the MOV instruction from a
+	// general-purpose register to memory, and the plain load).
+	if err := c.addMemoryBlocking(bs); err != nil {
+		return nil, err
+	}
+	return bs, nil
+}
+
+// addMemoryBlocking registers the load, store-address and store-data
+// combinations using plain MOV loads and stores.
+func (c *Characterizer) addMemoryBlocking(bs *BlockingSet) error {
+	arch := c.gen.arch
+	store, err := c.gen.lookupVariant("MOV_M64_R64")
+	if err != nil {
+		return err
+	}
+	load, err := c.gen.lookupVariant("MOV_R64_M64")
+	if err != nil {
+		return err
+	}
+	entries := []BlockingInstr{
+		{Instr: load, Ports: arch.LoadPorts(), UopsOnCombo: 1},
+		{Instr: store, Ports: arch.StoreAddrPorts(), UopsOnCombo: 1},
+		{Instr: store, Ports: arch.StoreDataPorts(), UopsOnCombo: 1},
+	}
+	for _, e := range entries {
+		key := e.ComboKey()
+		if _, ok := bs.SSE[key]; !ok {
+			bs.SSE[key] = e
+		}
+		if _, ok := bs.AVX[key]; !ok {
+			bs.AVX[key] = e
+		}
+	}
+	return nil
+}
+
+// isolationProfile measures the variant in isolation with n independent
+// instances and returns the set of ports that received a significant share of
+// its µops, the cycles per instruction, and the µops per instruction.
+func (c *Characterizer) isolationProfile(in *isa.Instr, n int) ([]int, float64, float64, error) {
+	seq, err := c.gen.independentInstances(in, n)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	res, err := c.gen.h.Measure(seq)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	perInstr := 1.0 / float64(n)
+	var ports []int
+	for p, u := range res.PortUops {
+		if u*perInstr >= 0.05 {
+			ports = append(ports, p)
+		}
+	}
+	return ports, res.Cycles * perInstr, res.TotalUops * perInstr, nil
+}
+
+// blockingSequence builds blockRep independent copies of the blocking
+// instruction whose operands avoid the register families used by the
+// instruction under test. All copies use the same registers: written
+// registers are renamed by the hardware, and the source registers are never
+// written, so the copies are independent of each other and of the measured
+// instruction.
+func (c *Characterizer) blockingSequence(b BlockingInstr, blockRep int, avoid []isa.Reg) (asmgen.Sequence, error) {
+	alloc := c.gen.newAlloc()
+	inst, err := c.gen.instantiate(b.Instr, nil, alloc, avoid...)
+	if err != nil {
+		return nil, fmt.Errorf("core: building blocking sequence for %s: %w", b.Instr.Name, err)
+	}
+	seq := make(asmgen.Sequence, 0, blockRep)
+	for i := 0; i < blockRep; i++ {
+		seq = append(seq, inst)
+	}
+	return seq, nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"uopsinfo/internal/isa"
+	"uopsinfo/internal/measure"
+	"uopsinfo/internal/pipesim"
+	"uopsinfo/internal/uarch"
+)
+
+// Characterizer drives the characterization of a microarchitecture: it owns
+// the measurement harness, the discovered blocking instructions and the
+// per-instruction algorithms (port usage, latency, throughput).
+type Characterizer struct {
+	gen      *gen
+	blocking *BlockingSet
+}
+
+// New returns a Characterizer for the given measurement harness.
+func New(h *measure.Harness) *Characterizer {
+	return &Characterizer{gen: newGen(h)}
+}
+
+// NewForArch builds the full stack for a generation: simulator, measurement
+// harness with the default configuration, and characterizer.
+func NewForArch(arch *uarch.Arch) *Characterizer {
+	m := pipesim.New(arch)
+	return New(measure.New(m))
+}
+
+// Arch returns the target microarchitecture.
+func (c *Characterizer) Arch() *uarch.Arch { return c.gen.arch }
+
+// Harness returns the measurement harness in use.
+func (c *Characterizer) Harness() *measure.Harness { return c.gen.h }
+
+// Blocking returns the discovered blocking-instruction set, discovering it on
+// first use.
+func (c *Characterizer) Blocking() (*BlockingSet, error) {
+	if err := c.ensureBlocking(); err != nil {
+		return nil, err
+	}
+	return c.blocking, nil
+}
+
+// Options controls a whole-ISA characterization run.
+type Options struct {
+	// Only restricts the run to the named variants (all variants if empty).
+	Only []string
+	// SkipLatency, SkipPortUsage and SkipThroughput disable parts of the
+	// characterization (e.g. for quick µop-count-only comparisons).
+	SkipLatency    bool
+	SkipPortUsage  bool
+	SkipThroughput bool
+	// Progress, if non-nil, is called after each instruction.
+	Progress func(done, total int, name string)
+}
+
+// skipReason classifies instructions that are not fully characterized,
+// mirroring the limitations in Section 8 of the paper.
+func skipReason(in *isa.Instr) string {
+	switch {
+	case in.IsSystem:
+		return "system instruction"
+	case in.IsSerializing:
+		return "serializing instruction"
+	case in.ControlFlow:
+		return "control-flow instruction"
+	case in.HasRep:
+		return "REP prefix (variable µop count)"
+	case in.HasLock:
+		return "LOCK prefix"
+	}
+	return ""
+}
+
+// CharacterizeInstr fully characterizes a single instruction variant.
+func (c *Characterizer) CharacterizeInstr(in *isa.Instr) (*InstrResult, error) {
+	return c.characterizeInstr(in, Options{})
+}
+
+func (c *Characterizer) characterizeInstr(in *isa.Instr, opts Options) (*InstrResult, error) {
+	result := &InstrResult{Name: in.Name, Mnemonic: in.Mnemonic}
+
+	portUops, issued, err := c.MeasuredUops(in)
+	if err != nil {
+		return nil, fmt.Errorf("core: measuring µops of %s: %w", in.Name, err)
+	}
+	result.Uops = portUops
+	result.UopsIssued = issued
+
+	if reason := skipReason(in); reason != "" {
+		result.Skipped = reason
+		return result, nil
+	}
+
+	if !opts.SkipLatency {
+		lat, err := c.Latency(in)
+		if err != nil {
+			return nil, fmt.Errorf("core: measuring latency of %s: %w", in.Name, err)
+		}
+		result.Latency = lat
+	}
+	if !opts.SkipPortUsage {
+		pu, err := c.PortUsage(in, result.Latency.MaxLatency())
+		if err != nil {
+			return nil, fmt.Errorf("core: measuring port usage of %s: %w", in.Name, err)
+		}
+		result.Ports = pu
+	}
+	if !opts.SkipThroughput {
+		tp, err := c.Throughput(in, result.Ports)
+		if err != nil {
+			return nil, fmt.Errorf("core: measuring throughput of %s: %w", in.Name, err)
+		}
+		result.Throughput = tp
+	}
+	return result, nil
+}
+
+// CharacterizeAll characterizes every instruction variant of the target
+// microarchitecture (or the subset named in opts.Only) and returns the
+// aggregated results.
+func (c *Characterizer) CharacterizeAll(opts Options) (*ArchResult, error) {
+	if err := c.ensureBlocking(); err != nil {
+		return nil, err
+	}
+	var instrs []*isa.Instr
+	if len(opts.Only) > 0 {
+		for _, name := range opts.Only {
+			in, err := c.gen.lookupVariant(name)
+			if err != nil {
+				return nil, err
+			}
+			instrs = append(instrs, in)
+		}
+	} else {
+		instrs = c.gen.set.Instrs()
+	}
+	out := NewArchResult(c.gen.arch.Name())
+	for i, in := range instrs {
+		res, err := c.characterizeInstr(in, opts)
+		if err != nil {
+			// Record the failure instead of aborting the whole run; a single
+			// unmeasurable variant should not lose the rest.
+			res = &InstrResult{Name: in.Name, Mnemonic: in.Mnemonic, Skipped: "error: " + err.Error()}
+		}
+		out.Results[in.Name] = res
+		if opts.Progress != nil {
+			opts.Progress(i+1, len(instrs), in.Name)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+
+	"uopsinfo/internal/asmgen"
+	"uopsinfo/internal/isa"
+)
+
+// maxBlockRep caps the number of blocking-instruction copies per measurement.
+// The paper uses maxLatency * number of ports; the cap keeps pathological
+// latency estimates from exploding the benchmark size on the simulator.
+const maxBlockRep = 256
+
+// PortUsage infers the port usage of the instruction using Algorithm 1 of the
+// paper: for every port combination (processed in order of increasing size),
+// the instruction is run after a long sequence of blocking instructions for
+// that combination; the µops measured on the combination's ports, minus the
+// blocking µops and minus the µops already attributed to strict subsets, can
+// only execute on exactly that combination.
+//
+// maxLatency is the maximum operand-pair latency of the instruction (used to
+// size the blocking sequences); pass 0 to let the function estimate it.
+func (c *Characterizer) PortUsage(in *isa.Instr, maxLatency float64) (PortUsage, error) {
+	if err := c.ensureBlocking(); err != nil {
+		return nil, err
+	}
+	blocking := c.blocking.For(in)
+
+	// Measure the instruction in isolation: total µop count and the ports
+	// used, which restricts the combinations the loop has to consider.
+	isoPorts, _, isoUops, err := c.isolationProfile(in, 4)
+	if err != nil {
+		return nil, err
+	}
+	totalUops := isoUops
+	if totalUops < 0.4 {
+		// All µops are handled at rename (NOPs, eliminated moves).
+		return PortUsage{}, nil
+	}
+	if maxLatency <= 0 {
+		maxLatency = c.estimateMaxLatency(in)
+	}
+	blockRep := int(maxLatency+0.999) * c.gen.arch.NumPorts()
+	if blockRep < 8 {
+		blockRep = 8
+	}
+	if blockRep > maxBlockRep {
+		blockRep = maxBlockRep
+	}
+
+	isoMask := portMask(isoPorts)
+	usage := make(PortUsage)
+	attributed := 0.0
+
+	// The instance of the instruction under test; the blocking instructions
+	// must avoid its registers.
+	alloc := c.gen.newAlloc()
+	testInst, err := c.gen.instantiate(in, nil, alloc)
+	if err != nil {
+		return nil, err
+	}
+	var avoid []isa.Reg
+	for r := range testInst.RegsUsed() {
+		avoid = append(avoid, r)
+	}
+
+	for _, key := range sortedCombos(blocking) {
+		b := blocking[key]
+		mask := portMask(b.Ports)
+		if mask&isoMask == 0 {
+			continue // the instruction never uses these ports
+		}
+		blockSeq, err := c.blockingSequence(b, blockRep, avoid)
+		if err != nil {
+			return nil, err
+		}
+		code := append(append(asmgen.Sequence{}, blockSeq...), testInst)
+		res, err := c.gen.h.Measure(code)
+		if err != nil {
+			return nil, err
+		}
+		uops := res.UopsOnPorts(b.Ports)
+		uops -= float64(blockRep) * b.UopsOnCombo
+		// Subtract µops already attributed to strict subsets of this
+		// combination.
+		for prevKey, prevUops := range usage {
+			if prevKey != key && maskOfKey(prevKey)&^mask == 0 {
+				uops -= prevUops
+			}
+		}
+		if uops > 0.5 {
+			n := float64(int(uops + 0.5))
+			usage[key] = n
+			attributed += n
+		}
+		if attributed >= totalUops-0.25 {
+			break // all µops attributed (the early-exit optimization)
+		}
+	}
+	return usage, nil
+}
+
+// estimateMaxLatency produces a quick upper estimate of the instruction's
+// maximum operand-pair latency by running a self-dependent sequence (all
+// instances sharing registers) and taking the cycles per instruction.
+func (c *Characterizer) estimateMaxLatency(in *isa.Instr) float64 {
+	alloc := c.gen.newAlloc()
+	inst, err := c.gen.instantiate(in, nil, alloc)
+	if err != nil {
+		return 4
+	}
+	const n = 8
+	seq := make(asmgen.Sequence, 0, n)
+	for i := 0; i < n; i++ {
+		seq = append(seq, inst)
+	}
+	res, err := c.gen.h.Measure(seq)
+	if err != nil {
+		return 4
+	}
+	lat := res.Cycles / n
+	if lat < 1 {
+		lat = 1
+	}
+	if lat > 64 {
+		lat = 64
+	}
+	return lat
+}
+
+// portMask converts a port list to a bitmask.
+func portMask(ports []int) uint {
+	var m uint
+	for _, p := range ports {
+		if p >= 0 && p < 32 {
+			m |= 1 << uint(p)
+		}
+	}
+	return m
+}
+
+// maskOfKey converts a canonical combination key ("015") back to a bitmask.
+func maskOfKey(key string) uint {
+	var m uint
+	for _, ch := range key {
+		if ch >= '0' && ch <= '9' {
+			m |= 1 << uint(ch-'0')
+		}
+	}
+	return m
+}
+
+// MeasuredUops returns the measured µop counts of the instruction: µops
+// dispatched to execution ports and µops issued (including those handled at
+// rename), per execution.
+func (c *Characterizer) MeasuredUops(in *isa.Instr) (portUops, issuedUops float64, err error) {
+	seq, err := c.gen.independentInstances(in, 4)
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := c.gen.h.Measure(seq)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.TotalUops / 4, res.IssuedUops / 4, nil
+}
+
+// ensureBlocking lazily discovers the blocking instructions.
+func (c *Characterizer) ensureBlocking() error {
+	if c.blocking != nil {
+		return nil
+	}
+	bs, err := c.FindBlockingInstructions()
+	if err != nil {
+		return fmt.Errorf("core: discovering blocking instructions: %w", err)
+	}
+	c.blocking = bs
+	return nil
+}

@@ -1,0 +1,225 @@
+// Package core implements the paper's primary contribution: the algorithms
+// that automatically generate microbenchmarks and infer, for every
+// instruction variant of a microarchitecture,
+//
+//   - the port usage (Section 5.1, Algorithm 1, based on blocking
+//     instructions),
+//   - the latency for every pair of source and destination operands
+//     (Section 5.2, based on automatically constructed dependency chains),
+//   - the throughput, both measured (Definition 2) and computed from the
+//     port usage via the min-max-load optimization problem (Definition 1,
+//     Section 5.3).
+//
+// The algorithms only interact with the processor through the measurement
+// harness (package measure), i.e. through "run this code sequence and report
+// cycles and µops per port" — the same interface they use on real hardware.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"uopsinfo/internal/uarch"
+)
+
+// PortUsage is the inferred port usage of an instruction: the number of µops
+// bound to each port combination, keyed by the canonical combination string
+// (e.g. "015" for a µop that can use ports 0, 1 and 5).
+type PortUsage map[string]float64
+
+// TotalUops sums the µops over all combinations.
+func (pu PortUsage) TotalUops() float64 {
+	sum := 0.0
+	for _, n := range pu {
+		sum += n
+	}
+	return sum
+}
+
+// String renders the usage in the paper's notation, e.g. "1*p0+1*p015".
+func (pu PortUsage) String() string {
+	if len(pu) == 0 {
+		return "0"
+	}
+	keys := make([]string, 0, len(pu))
+	for k := range pu {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if len(keys[i]) != len(keys[j]) {
+			return len(keys[i]) < len(keys[j])
+		}
+		return keys[i] < keys[j]
+	})
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		n := pu[k]
+		if n == float64(int(n)) {
+			parts = append(parts, fmt.Sprintf("%d*p%s", int(n), k))
+		} else {
+			parts = append(parts, fmt.Sprintf("%.2f*p%s", n, k))
+		}
+	}
+	return strings.Join(parts, "+")
+}
+
+// Equal reports whether two port usages are the same after rounding µop
+// counts to the nearest integer.
+func (pu PortUsage) Equal(other PortUsage) bool {
+	round := func(m PortUsage) map[string]int {
+		out := make(map[string]int)
+		for k, v := range m {
+			n := int(v + 0.5)
+			if n > 0 {
+				out[k] = n
+			}
+		}
+		return out
+	}
+	a, b := round(pu), round(other)
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// GroundTruthUsage converts a uarch.InstrPerf µop decomposition into the
+// PortUsage representation, for comparisons in tests and reports.
+func GroundTruthUsage(perf *uarch.InstrPerf) PortUsage {
+	pu := make(PortUsage)
+	for k, n := range perf.PortUsage() {
+		pu[k] = float64(n)
+	}
+	return pu
+}
+
+// OperandPairLatency is the measured latency from one source operand to one
+// destination operand of an instruction (the paper's lat(s_i, d_j)).
+type OperandPairLatency struct {
+	// Source and Dest are operand indices into isa.Instr.Operands.
+	Source int
+	Dest   int
+	// SourceName and DestName are the operand names, for reporting.
+	SourceName string
+	DestName   string
+	// Cycles is the measured latency.
+	Cycles float64
+	// UpperBound marks measurements where no chain instruction with a known
+	// latency exists (e.g. between registers of different types, Section
+	// 5.2.1); Cycles is then an upper bound on the true latency.
+	UpperBound bool
+	// SameRegister marks the additional measurement where the same register
+	// is used for both operands (Section 5.2.1).
+	SameRegister bool
+	// FastValueCycles is the latency with operand values chosen for the fast
+	// case; it is only set for divider-based instructions (Section 5.2.5).
+	FastValueCycles float64
+	// Notes records how the chain was constructed.
+	Notes string
+}
+
+// LatencyResult collects all measured operand-pair latencies of one
+// instruction.
+type LatencyResult struct {
+	Pairs []OperandPairLatency
+}
+
+// MaxLatency returns the maximum measured latency over all pairs (excluding
+// same-register measurements), which Algorithm 1 uses to size the blocking
+// sequences.
+func (l *LatencyResult) MaxLatency() float64 {
+	max := 0.0
+	for _, p := range l.Pairs {
+		if p.SameRegister {
+			continue
+		}
+		if p.Cycles > max {
+			max = p.Cycles
+		}
+	}
+	return max
+}
+
+// Lookup returns the latency entry for the given operand pair, preferring the
+// distinct-register measurement.
+func (l *LatencyResult) Lookup(source, dest int) (OperandPairLatency, bool) {
+	for _, p := range l.Pairs {
+		if p.Source == source && p.Dest == dest && !p.SameRegister {
+			return p, true
+		}
+	}
+	for _, p := range l.Pairs {
+		if p.Source == source && p.Dest == dest {
+			return p, true
+		}
+	}
+	return OperandPairLatency{}, false
+}
+
+// ThroughputResult holds the throughput of an instruction in cycles per
+// instruction under both definitions discussed in Section 4.2.
+type ThroughputResult struct {
+	// Measured is the throughput according to Definition 2 (Fog): the
+	// average cycles per instruction of the best sequence of independent
+	// instances found.
+	Measured float64
+	// MeasuredSequenceLength is the length of the independent sequence that
+	// achieved Measured (1, 2, 4 or 8).
+	MeasuredSequenceLength int
+	// WithDepBreaking is the best throughput achieved when
+	// dependency-breaking instructions were added for implicit
+	// read-modify-write operands (0 if not applicable).
+	WithDepBreaking float64
+	// Computed is the throughput according to Definition 1 (Intel), computed
+	// from the port usage by solving the min-max-load problem (Section
+	// 5.3.2). It is 0 for instructions that use the divider.
+	Computed float64
+	// FastValueMeasured is the measured throughput with operand values
+	// chosen for the fast case (divider-based instructions only).
+	FastValueMeasured float64
+}
+
+// InstrResult is the complete characterization of one instruction variant.
+type InstrResult struct {
+	Name     string
+	Mnemonic string
+	// Uops is the measured number of µops dispatched to execution ports per
+	// instruction execution; UopsIssued additionally counts µops handled at
+	// rename.
+	Uops       float64
+	UopsIssued float64
+	Ports      PortUsage
+	Latency    LatencyResult
+	Throughput ThroughputResult
+	// Skipped records why an instruction was not fully characterized (system
+	// instructions, control flow, ...). Empty if fully characterized.
+	Skipped string
+}
+
+// ArchResult is the characterization of all instruction variants of one
+// microarchitecture generation.
+type ArchResult struct {
+	Arch    string
+	Results map[string]*InstrResult
+}
+
+// NewArchResult returns an empty result container for a generation.
+func NewArchResult(arch string) *ArchResult {
+	return &ArchResult{Arch: arch, Results: make(map[string]*InstrResult)}
+}
+
+// Names returns the sorted variant names present in the result.
+func (r *ArchResult) Names() []string {
+	names := make([]string, 0, len(r.Results))
+	for n := range r.Results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,86 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFlagSetBasics(t *testing.T) {
+	var s FlagSet
+	if !s.Empty() {
+		t.Error("zero FlagSet should be empty")
+	}
+	s = s.With(FlagCF).With(FlagZF)
+	if !s.Has(FlagCF) || !s.Has(FlagZF) || s.Has(FlagOF) {
+		t.Errorf("unexpected membership in %s", s)
+	}
+	if s.Count() != 2 {
+		t.Errorf("Count = %d, want 2", s.Count())
+	}
+	s = s.Without(FlagCF)
+	if s.Has(FlagCF) || !s.Has(FlagZF) {
+		t.Errorf("Without failed: %s", s)
+	}
+}
+
+func TestFlagSetAllAndNoAF(t *testing.T) {
+	if FlagSetAll.Count() != 6 {
+		t.Errorf("FlagSetAll should have 6 flags, got %d", FlagSetAll.Count())
+	}
+	if FlagSetNoAF.Has(FlagAF) {
+		t.Error("FlagSetNoAF must not contain AF")
+	}
+	if FlagSetNoAF.Count() != 5 {
+		t.Errorf("FlagSetNoAF should have 5 flags, got %d", FlagSetNoAF.Count())
+	}
+}
+
+func TestFlagSetStringAndParse(t *testing.T) {
+	cases := map[FlagSet]string{
+		FlagSetNone:                         "-",
+		FlagSetCF:                           "CF",
+		FlagSetCF | FlagSetOF:               "CF+OF",
+		FlagSetAll:                          "CF+PF+AF+ZF+SF+OF",
+		FlagSetZF.With(FlagSF).With(FlagPF): "PF+ZF+SF",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%#v.String() = %q, want %q", s, got, want)
+		}
+		if got := ParseFlagSet(want); got != s {
+			t.Errorf("ParseFlagSet(%q) = %v, want %v", want, got, s)
+		}
+	}
+}
+
+func TestFlagsListOrder(t *testing.T) {
+	s := FlagSetOF | FlagSetCF
+	flags := s.Flags()
+	if len(flags) != 2 || flags[0] != FlagCF || flags[1] != FlagOF {
+		t.Errorf("Flags() = %v, want [CF OF]", flags)
+	}
+}
+
+// Property: String/ParseFlagSet round-trips for every possible flag set.
+func TestFlagSetRoundTripProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		s := FlagSet(raw) & FlagSetAll
+		return ParseFlagSet(s.String()) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: With/Without are inverse operations as long as the flag was not
+// already present/absent.
+func TestFlagSetWithWithoutProperty(t *testing.T) {
+	f := func(raw uint8, flagIdx uint8) bool {
+		s := FlagSet(raw) & FlagSetAll
+		fl := Flag(int(flagIdx) % int(NumFlags))
+		return s.With(fl).Without(fl) == s.Without(fl) && s.Without(fl).With(fl) == s.With(fl)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

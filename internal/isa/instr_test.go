@@ -1,0 +1,131 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleInstr() *Instr {
+	return &Instr{
+		Name:      "ADD_R64_M64",
+		Mnemonic:  "ADD",
+		Extension: ExtBase,
+		Domain:    DomainInt,
+		Operands: []Operand{
+			RegOp("op1", ClassGPR64, true, true),
+			MemOp("op2", 64, true, false),
+			FlagsOp(FlagSetNone, FlagSetAll),
+		},
+	}
+}
+
+func TestInstrOperandQueries(t *testing.T) {
+	in := sampleInstr()
+	if got := len(in.ExplicitOperands()); got != 2 {
+		t.Errorf("ExplicitOperands = %d, want 2", got)
+	}
+	if got := len(in.ImplicitOperands()); got != 1 {
+		t.Errorf("ImplicitOperands = %d, want 1", got)
+	}
+	if got := in.SourceOperands(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("SourceOperands = %v, want [0 1]", got)
+	}
+	if got := in.DestOperands(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("DestOperands = %v, want [0 2]", got)
+	}
+	if in.OperandIndex("FLAGS") != 2 || in.OperandIndex("op1") != 0 || in.OperandIndex("nope") != -1 {
+		t.Error("OperandIndex lookup failed")
+	}
+	if !in.HasMemOperand() || !in.ReadsMemory() || in.WritesMemory() {
+		t.Error("memory predicates misreport")
+	}
+	if in.ReadsFlags() || !in.WritesFlags() {
+		t.Error("flags predicates misreport")
+	}
+}
+
+func TestInstrSignature(t *testing.T) {
+	in := sampleInstr()
+	sig := in.Signature()
+	if !strings.HasPrefix(sig, "ADD GPR64, M64") {
+		t.Errorf("Signature = %q, want prefix 'ADD GPR64, M64'", sig)
+	}
+	if !strings.Contains(sig, "FLAGS") {
+		t.Errorf("Signature %q should mention the implicit FLAGS operand", sig)
+	}
+}
+
+func TestExtensionClassification(t *testing.T) {
+	if !ExtAVX.IsAVX() || !ExtFMA.IsAVX() || ExtSSE2.IsAVX() || ExtBase.IsAVX() {
+		t.Error("IsAVX misclassifies")
+	}
+	if !ExtSSE41.IsSSE() || !ExtAES.IsSSE() || ExtAVX.IsSSE() || ExtBase.IsSSE() {
+		t.Error("IsSSE misclassifies")
+	}
+}
+
+func TestSetLookupAndFilter(t *testing.T) {
+	a := sampleInstr()
+	b := &Instr{Name: "NOP", Mnemonic: "NOP", Extension: ExtBase, IsNOP: true}
+	c := &Instr{Name: "ADD_R32_R32", Mnemonic: "ADD", Extension: ExtBase,
+		Operands: []Operand{RegOp("op1", ClassGPR32, true, true), RegOp("op2", ClassGPR32, true, false)}}
+	set, err := NewSet([]*Instr{a, b, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", set.Len())
+	}
+	if set.Lookup("NOP") != b || set.Lookup("missing") != nil {
+		t.Error("Lookup failed")
+	}
+	if got := set.ByMnemonic("ADD"); len(got) != 2 {
+		t.Errorf("ByMnemonic(ADD) = %d entries, want 2", len(got))
+	}
+	filtered := set.Filter(func(in *Instr) bool { return !in.IsNOP })
+	if filtered.Len() != 2 || filtered.Lookup("NOP") != nil {
+		t.Error("Filter did not remove the NOP")
+	}
+	names := set.Names()
+	if len(names) != 3 || names[0] > names[1] || names[1] > names[2] {
+		t.Errorf("Names not sorted: %v", names)
+	}
+	mnemonics := set.Mnemonics()
+	if len(mnemonics) != 2 {
+		t.Errorf("Mnemonics = %v, want 2 distinct", mnemonics)
+	}
+}
+
+func TestNewSetRejectsDuplicatesAndEmptyNames(t *testing.T) {
+	a := sampleInstr()
+	dup := sampleInstr()
+	if _, err := NewSet([]*Instr{a, dup}); err == nil {
+		t.Error("NewSet accepted duplicate names")
+	}
+	if _, err := NewSet([]*Instr{{Mnemonic: "X"}}); err == nil {
+		t.Error("NewSet accepted an empty name")
+	}
+}
+
+func TestOperandConstructors(t *testing.T) {
+	r := RegOp("op1", ClassXMM, true, false)
+	if r.Kind != OpReg || r.Width != 128 || !r.Read || r.Write {
+		t.Errorf("RegOp built %+v", r)
+	}
+	m := MemOp("op2", 32, false, true)
+	if m.Kind != OpMem || m.Width != 32 || m.Read || !m.Write {
+		t.Errorf("MemOp built %+v", m)
+	}
+	i := ImmOp("op3", 8)
+	if i.Kind != OpImm || i.Width != 8 || !i.Read {
+		t.Errorf("ImmOp built %+v", i)
+	}
+	fl := FlagsOp(FlagSetCF, FlagSetAll)
+	if fl.Kind != OpFlags || !fl.Read || !fl.Write || !fl.Implicit {
+		t.Errorf("FlagsOp built %+v", fl)
+	}
+	ir := ImplicitRegOp(RAX, true, true)
+	if ir.FixedReg != RAX || !ir.Implicit || ir.Class != ClassGPR64 {
+		t.Errorf("ImplicitRegOp built %+v", ir)
+	}
+}

@@ -1,0 +1,151 @@
+package isa
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+)
+
+// This file implements the machine-readable XML representation of the
+// instruction set (Section 6.1 of the paper): a simplified description that
+// contains enough information to generate assembler code for every variant,
+// including implicit operands.
+
+// xmlRoot is the document root of the instruction-set XML.
+type xmlRoot struct {
+	XMLName      xml.Name         `xml:"instructionSet"`
+	Instructions []xmlInstruction `xml:"instruction"`
+}
+
+type xmlInstruction struct {
+	Name        string       `xml:"name,attr"`
+	Mnemonic    string       `xml:"asm,attr"`
+	Extension   string       `xml:"extension,attr"`
+	Domain      string       `xml:"domain,attr"`
+	System      bool         `xml:"system,attr,omitempty"`
+	Serializing bool         `xml:"serializing,attr,omitempty"`
+	ControlFlow bool         `xml:"controlFlow,attr,omitempty"`
+	Divider     bool         `xml:"divider,attr,omitempty"`
+	NOP         bool         `xml:"nop,attr,omitempty"`
+	ZeroIdiom   bool         `xml:"zeroIdiom,attr,omitempty"`
+	MoveElim    bool         `xml:"moveElim,attr,omitempty"`
+	Lock        bool         `xml:"lock,attr,omitempty"`
+	Rep         bool         `xml:"rep,attr,omitempty"`
+	Operands    []xmlOperand `xml:"operand"`
+}
+
+type xmlOperand struct {
+	Name       string `xml:"name,attr"`
+	Kind       string `xml:"type,attr"`
+	Class      string `xml:"regClass,attr,omitempty"`
+	Width      int    `xml:"width,attr"`
+	Read       bool   `xml:"r,attr"`
+	Write      bool   `xml:"w,attr"`
+	Implicit   bool   `xml:"suppressed,attr,omitempty"`
+	FixedReg   string `xml:"reg,attr,omitempty"`
+	ReadFlags  string `xml:"flagsR,attr,omitempty"`
+	WriteFlags string `xml:"flagsW,attr,omitempty"`
+}
+
+// WriteXML writes the instruction set as XML to w.
+func (s *Set) WriteXML(w io.Writer) error {
+	root := xmlRoot{}
+	for _, in := range s.instrs {
+		xi := xmlInstruction{
+			Name:        in.Name,
+			Mnemonic:    in.Mnemonic,
+			Extension:   string(in.Extension),
+			Domain:      in.Domain.String(),
+			System:      in.IsSystem,
+			Serializing: in.IsSerializing,
+			ControlFlow: in.ControlFlow,
+			Divider:     in.UsesDivider,
+			NOP:         in.IsNOP,
+			ZeroIdiom:   in.MayZeroIdiom,
+			MoveElim:    in.MayMoveElim,
+			Lock:        in.HasLock,
+			Rep:         in.HasRep,
+		}
+		for _, op := range in.Operands {
+			xo := xmlOperand{
+				Name:     op.Name,
+				Kind:     op.Kind.String(),
+				Width:    op.Width,
+				Read:     op.Read,
+				Write:    op.Write,
+				Implicit: op.Implicit,
+			}
+			if op.Class != ClassNone {
+				xo.Class = op.Class.String()
+			}
+			if op.FixedReg != RegNone {
+				xo.FixedReg = op.FixedReg.String()
+			}
+			if op.Kind == OpFlags {
+				xo.ReadFlags = op.ReadFlags.String()
+				xo.WriteFlags = op.WriteFlags.String()
+			}
+			xi.Operands = append(xi.Operands, xo)
+		}
+		root.Instructions = append(root.Instructions, xi)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(root); err != nil {
+		return fmt.Errorf("isa: encoding instruction set XML: %w", err)
+	}
+	return enc.Flush()
+}
+
+// ReadXML parses an instruction set from the XML produced by WriteXML.
+func ReadXML(r io.Reader) (*Set, error) {
+	var root xmlRoot
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&root); err != nil {
+		return nil, fmt.Errorf("isa: decoding instruction set XML: %w", err)
+	}
+	instrs := make([]*Instr, 0, len(root.Instructions))
+	for _, xi := range root.Instructions {
+		in := &Instr{
+			Name:          xi.Name,
+			Mnemonic:      xi.Mnemonic,
+			Extension:     Extension(xi.Extension),
+			Domain:        ParseDomain(xi.Domain),
+			IsSystem:      xi.System,
+			IsSerializing: xi.Serializing,
+			ControlFlow:   xi.ControlFlow,
+			UsesDivider:   xi.Divider,
+			IsNOP:         xi.NOP,
+			MayZeroIdiom:  xi.ZeroIdiom,
+			MayMoveElim:   xi.MoveElim,
+			HasLock:       xi.Lock,
+			HasRep:        xi.Rep,
+		}
+		for _, xo := range xi.Operands {
+			op := Operand{
+				Name:     xo.Name,
+				Kind:     ParseOperandKind(xo.Kind),
+				Class:    ParseRegClass(xo.Class),
+				Width:    xo.Width,
+				Read:     xo.Read,
+				Write:    xo.Write,
+				Implicit: xo.Implicit,
+			}
+			if xo.FixedReg != "" {
+				op.FixedReg = ParseReg(xo.FixedReg)
+			}
+			if op.Kind == OpFlags {
+				op.ReadFlags = ParseFlagSet(xo.ReadFlags)
+				op.WriteFlags = ParseFlagSet(xo.WriteFlags)
+				op.Read = !op.ReadFlags.Empty()
+				op.Write = !op.WriteFlags.Empty()
+			}
+			in.Operands = append(in.Operands, op)
+		}
+		instrs = append(instrs, in)
+	}
+	return NewSet(instrs)
+}

@@ -1,0 +1,91 @@
+package isa
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestXMLRoundTrip(t *testing.T) {
+	instrs := []*Instr{
+		{
+			Name: "ADD_R64_R64", Mnemonic: "ADD", Extension: ExtBase, Domain: DomainInt,
+			Operands: []Operand{
+				RegOp("op1", ClassGPR64, true, true),
+				RegOp("op2", ClassGPR64, true, false),
+				FlagsOp(FlagSetNone, FlagSetAll),
+			},
+		},
+		{
+			Name: "DIV_R32", Mnemonic: "DIV", Extension: ExtBase, Domain: DomainInt, UsesDivider: true,
+			Operands: []Operand{
+				RegOp("op1", ClassGPR32, true, false),
+				ImplicitRegOp(RAX, true, true),
+				ImplicitRegOp(RDX, true, true),
+				FlagsOp(FlagSetNone, FlagSetAll),
+			},
+		},
+		{
+			Name: "AESDEC_XMM_M128", Mnemonic: "AESDEC", Extension: ExtAES, Domain: DomainVecInt,
+			Operands: []Operand{
+				RegOp("op1", ClassXMM, true, true),
+				MemOp("op2", 128, true, false),
+			},
+		},
+		{
+			Name: "CPUID", Mnemonic: "CPUID", Extension: ExtSystem, Domain: DomainInt,
+			IsSystem: true, IsSerializing: true,
+			Operands: []Operand{ImplicitRegOp(RAX, true, true)},
+		},
+	}
+	set, err := NewSet(instrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := set.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `name="ADD_R64_R64"`) || !strings.Contains(out, `extension="AES"`) {
+		t.Fatalf("XML output missing expected attributes:\n%s", out)
+	}
+	back, err := ReadXML(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != set.Len() {
+		t.Fatalf("round trip lost instructions: %d != %d", back.Len(), set.Len())
+	}
+	for _, orig := range set.Instrs() {
+		got := back.Lookup(orig.Name)
+		if got == nil {
+			t.Errorf("variant %s missing after round trip", orig.Name)
+			continue
+		}
+		if got.Mnemonic != orig.Mnemonic || got.Extension != orig.Extension || got.Domain != orig.Domain {
+			t.Errorf("%s: header mismatch after round trip: %+v vs %+v", orig.Name, got, orig)
+		}
+		if got.IsSystem != orig.IsSystem || got.UsesDivider != orig.UsesDivider || got.IsSerializing != orig.IsSerializing {
+			t.Errorf("%s: attribute mismatch after round trip", orig.Name)
+		}
+		if len(got.Operands) != len(orig.Operands) {
+			t.Errorf("%s: operand count %d != %d", orig.Name, len(got.Operands), len(orig.Operands))
+			continue
+		}
+		for i := range orig.Operands {
+			o, g := orig.Operands[i], got.Operands[i]
+			if o.Kind != g.Kind || o.Class != g.Class || o.Width != g.Width ||
+				o.Read != g.Read || o.Write != g.Write || o.Implicit != g.Implicit ||
+				o.FixedReg != g.FixedReg || o.ReadFlags != g.ReadFlags || o.WriteFlags != g.WriteFlags {
+				t.Errorf("%s operand %d mismatch: %+v vs %+v", orig.Name, i, g, o)
+			}
+		}
+	}
+}
+
+func TestReadXMLRejectsGarbage(t *testing.T) {
+	if _, err := ReadXML(strings.NewReader("this is not xml")); err == nil {
+		t.Error("ReadXML accepted invalid input")
+	}
+}

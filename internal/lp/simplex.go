@@ -1,0 +1,252 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Relation is the comparison operator of a linear constraint.
+type Relation int
+
+// Constraint relations.
+const (
+	LE Relation = iota // <=
+	GE                 // >=
+	EQ                 // ==
+)
+
+// Problem is a linear program in the form
+//
+//	minimize  c'x
+//	subject to a_i'x (<=|>=|==) b_i for every constraint i, x >= 0.
+type Problem struct {
+	NumVars   int
+	Objective []float64
+
+	rows [][]float64
+	rels []Relation
+	rhs  []float64
+}
+
+// AddConstraint appends the constraint row'x rel rhs. The row is copied.
+func (p *Problem) AddConstraint(row []float64, rel Relation, rhs float64) {
+	r := make([]float64, p.NumVars)
+	copy(r, row)
+	p.rows = append(p.rows, r)
+	p.rels = append(p.rels, rel)
+	p.rhs = append(p.rhs, rhs)
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	// X holds the optimal values of the original variables.
+	X []float64
+	// Objective is the optimal objective value.
+	Objective float64
+}
+
+const simplexEps = 1e-9
+
+// Solve runs a two-phase dense simplex and returns the optimal solution. It
+// returns an error if the problem is infeasible or unbounded.
+func (p *Problem) Solve() (Solution, error) {
+	if p.NumVars <= 0 {
+		return Solution{}, fmt.Errorf("lp: problem has no variables")
+	}
+	if len(p.Objective) != p.NumVars {
+		return Solution{}, fmt.Errorf("lp: objective has %d coefficients, want %d", len(p.Objective), p.NumVars)
+	}
+	m := len(p.rows)
+	// Count slack and artificial variables.
+	numSlack := 0
+	numArt := 0
+	for i := 0; i < m; i++ {
+		rel := p.rels[i]
+		rhs := p.rhs[i]
+		if rhs < 0 {
+			// Normalizing flips the relation.
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		switch rel {
+		case LE:
+			numSlack++
+		case GE:
+			numSlack++
+			numArt++
+		case EQ:
+			numArt++
+		}
+	}
+	total := p.NumVars + numSlack + numArt
+	// Build the tableau: m rows of [coefficients | rhs].
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	slackIdx := p.NumVars
+	artIdx := p.NumVars + numSlack
+	artCols := make([]int, 0, numArt)
+	for i := 0; i < m; i++ {
+		row := make([]float64, total+1)
+		rel := p.rels[i]
+		rhs := p.rhs[i]
+		sign := 1.0
+		if rhs < 0 {
+			sign = -1.0
+			rhs = -rhs
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		for j := 0; j < p.NumVars; j++ {
+			row[j] = sign * p.rows[i][j]
+		}
+		row[total] = rhs
+		switch rel {
+		case LE:
+			row[slackIdx] = 1
+			basis[i] = slackIdx
+			slackIdx++
+		case GE:
+			row[slackIdx] = -1
+			slackIdx++
+			row[artIdx] = 1
+			basis[i] = artIdx
+			artCols = append(artCols, artIdx)
+			artIdx++
+		case EQ:
+			row[artIdx] = 1
+			basis[i] = artIdx
+			artCols = append(artCols, artIdx)
+			artIdx++
+		}
+		tab[i] = row
+	}
+
+	// Phase 1: minimize the sum of artificial variables.
+	if numArt > 0 {
+		phase1 := make([]float64, total)
+		for _, c := range artCols {
+			phase1[c] = 1
+		}
+		val, err := runSimplex(tab, basis, phase1, total)
+		if err != nil {
+			return Solution{}, fmt.Errorf("lp: phase 1: %w", err)
+		}
+		if val > 1e-6 {
+			return Solution{}, fmt.Errorf("lp: infeasible (artificial objective %v)", val)
+		}
+		// Drive any artificial variables still in the basis out of it (or
+		// accept them at value zero).
+	}
+
+	// Phase 2: minimize the original objective. Artificial columns are
+	// forbidden by giving them a large cost.
+	phase2 := make([]float64, total)
+	copy(phase2, p.Objective)
+	for _, c := range artCols {
+		phase2[c] = 1e9
+	}
+	val, err := runSimplex(tab, basis, phase2, total)
+	if err != nil {
+		return Solution{}, fmt.Errorf("lp: phase 2: %w", err)
+	}
+	sol := Solution{X: make([]float64, p.NumVars)}
+	for i, b := range basis {
+		if b < p.NumVars {
+			sol.X[b] = tab[i][total]
+		}
+	}
+	// Recompute the objective from the original coefficients (more accurate
+	// than the tableau value when artificial penalties are present).
+	obj := 0.0
+	for j := 0; j < p.NumVars; j++ {
+		obj += p.Objective[j] * sol.X[j]
+	}
+	_ = val
+	sol.Objective = obj
+	return sol, nil
+}
+
+// runSimplex minimizes cost'x over the current tableau using Bland's rule,
+// updating tab and basis in place, and returns the optimal objective value.
+func runSimplex(tab [][]float64, basis []int, cost []float64, total int) (float64, error) {
+	m := len(tab)
+	// Reduced costs: z_j - c_j computed from the basis.
+	maxIter := 200 * (total + m + 1)
+	for iter := 0; iter < maxIter; iter++ {
+		// Compute the simplex multipliers implicitly via reduced costs.
+		reduced := make([]float64, total)
+		for j := 0; j < total; j++ {
+			sum := 0.0
+			for i := 0; i < m; i++ {
+				sum += cost[basis[i]] * tab[i][j]
+			}
+			reduced[j] = cost[j] - sum
+		}
+		// Entering variable: Bland's rule (smallest index with negative
+		// reduced cost).
+		enter := -1
+		for j := 0; j < total; j++ {
+			if reduced[j] < -simplexEps {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			// Optimal.
+			obj := 0.0
+			for i := 0; i < m; i++ {
+				obj += cost[basis[i]] * tab[i][total]
+			}
+			return obj, nil
+		}
+		// Leaving variable: minimum ratio test, ties broken by smallest
+		// basis index (Bland).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if tab[i][enter] > simplexEps {
+				ratio := tab[i][total] / tab[i][enter]
+				if ratio < bestRatio-simplexEps ||
+					(math.Abs(ratio-bestRatio) <= simplexEps && (leave == -1 || basis[i] < basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return 0, fmt.Errorf("unbounded (entering column %d)", enter)
+		}
+		pivot(tab, leave, enter, total)
+		basis[leave] = enter
+	}
+	return 0, fmt.Errorf("iteration limit exceeded")
+}
+
+// pivot performs a Gauss-Jordan pivot on tab[row][col].
+func pivot(tab [][]float64, row, col, total int) {
+	m := len(tab)
+	pv := tab[row][col]
+	for j := 0; j <= total; j++ {
+		tab[row][j] /= pv
+	}
+	for i := 0; i < m; i++ {
+		if i == row {
+			continue
+		}
+		factor := tab[i][col]
+		if factor == 0 {
+			continue
+		}
+		for j := 0; j <= total; j++ {
+			tab[i][j] -= factor * tab[row][j]
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package pipesim
+
+import (
+	"testing"
+
+	"uopsinfo/internal/asmgen"
+	"uopsinfo/internal/isa"
+	"uopsinfo/internal/uarch"
+)
+
+// Tests for the secondary microarchitectural mechanisms that the benchmark
+// generator has to work around: SSE/AVX transition penalties (why blocking
+// instructions are chosen per extension family), bypass delays between the
+// vector domains (why both an integer and a floating-point shuffle chain are
+// measured), and partial-register merges.
+
+func TestSSEAVXTransitionPenalty(t *testing.T) {
+	// On Sandy Bridge, executing a legacy SSE instruction while the upper
+	// halves of the YMM registers are dirty costs a large penalty; the same
+	// mix with a VZEROUPPER in between does not.
+	arch := uarch.Get(uarch.SandyBridge)
+	m := New(arch)
+	vaddps := arch.InstrSet().Lookup("VADDPS_YMM_YMM_YMM")
+	addps := arch.InstrSet().Lookup("ADDPS_XMM_XMM")
+	vzero := arch.InstrSet().Lookup("VZEROUPPER")
+	if vaddps == nil || addps == nil || vzero == nil {
+		t.Fatal("required variants missing on Sandy Bridge")
+	}
+	avx := asmgen.MustInst(vaddps, asmgen.RegOperand(isa.YMM0), asmgen.RegOperand(isa.YMM1), asmgen.RegOperand(isa.YMM2))
+	sse := asmgen.MustInst(addps, asmgen.RegOperand(isa.XMM3), asmgen.RegOperand(isa.XMM4))
+	clean := asmgen.MustInst(vzero)
+
+	mixed := asmgen.Sequence{avx, sse}
+	fenced := asmgen.Sequence{avx, clean, sse}
+	cMixed := m.MustRun(mixed)
+	cFenced := m.MustRun(fenced)
+	if cMixed.Cycles <= cFenced.Cycles+arch.SSEAVXPenalty()/2 {
+		t.Errorf("SSE after dirty AVX (%d cycles) should pay a transition penalty; with VZEROUPPER it takes %d cycles",
+			cMixed.Cycles, cFenced.Cycles)
+	}
+
+	// Skylake does not charge this penalty in the model.
+	skl := New(uarch.Get(uarch.Skylake))
+	sklMixed := skl.MustRun(asmgen.Sequence{
+		asmgen.MustInst(uarch.Get(uarch.Skylake).InstrSet().Lookup("VADDPS_YMM_YMM_YMM"),
+			asmgen.RegOperand(isa.YMM0), asmgen.RegOperand(isa.YMM1), asmgen.RegOperand(isa.YMM2)),
+		asmgen.MustInst(uarch.Get(uarch.Skylake).InstrSet().Lookup("ADDPS_XMM_XMM"),
+			asmgen.RegOperand(isa.XMM3), asmgen.RegOperand(isa.XMM4)),
+	})
+	if sklMixed.Cycles > 30 {
+		t.Errorf("Skylake mixed SSE/AVX sequence took %d cycles; no transition penalty expected", sklMixed.Cycles)
+	}
+}
+
+func TestBypassDelayBetweenDomains(t *testing.T) {
+	// A chain alternating between a vector-integer producer and a
+	// floating-point consumer pays a bypass delay each hop, so it is slower
+	// than a pure integer chain of the same length.
+	arch := uarch.Get(uarch.Skylake)
+	m := New(arch)
+	paddd := arch.InstrSet().Lookup("PADDD_XMM_XMM") // vector integer, latency 1
+	addps := arch.InstrSet().Lookup("ADDPS_XMM_XMM") // floating point
+	pand := arch.InstrSet().Lookup("PAND_XMM_XMM")   // vector integer, latency 1
+	if paddd == nil || addps == nil || pand == nil {
+		t.Fatal("required variants missing")
+	}
+	x := asmgen.RegOperand(isa.XMM1)
+	y := asmgen.RegOperand(isa.XMM2)
+
+	var pureInt, mixed asmgen.Sequence
+	for i := 0; i < 20; i++ {
+		pureInt = append(pureInt, asmgen.MustInst(paddd, x, y))
+		pureInt = append(pureInt, asmgen.MustInst(pand, x, y))
+		mixed = append(mixed, asmgen.MustInst(paddd, x, y))
+		mixed = append(mixed, asmgen.MustInst(addps, x, y))
+	}
+	cInt := m.MustRun(pureInt)
+	cMixed := m.MustRun(mixed)
+	if cMixed.Cycles <= cInt.Cycles {
+		t.Errorf("mixed-domain chain (%d cycles) should be slower than the pure integer chain (%d cycles): "+
+			"ADDPS has a higher latency and each domain crossing adds a bypass delay", cMixed.Cycles, cInt.Cycles)
+	}
+}
+
+func TestPartialRegisterMergeCreatesDependency(t *testing.T) {
+	// Writing an 8-bit register merges with the previous 64-bit contents, so
+	// a chain of "MOV AL, imm; ADD RAX, RBX" is serialized through RAX even
+	// though the MOV looks like a write-only operation.
+	arch := uarch.Get(uarch.Skylake)
+	m := New(arch)
+	mov8 := arch.InstrSet().Lookup("MOV_R8_I8")
+	add := arch.InstrSet().Lookup("ADD_R64_R64")
+	if mov8 == nil || add == nil {
+		t.Fatal("required variants missing")
+	}
+	var narrow, wide asmgen.Sequence
+	mov64 := arch.InstrSet().Lookup("MOV_R64_I32")
+	for i := 0; i < 30; i++ {
+		narrow = append(narrow, asmgen.MustInst(mov8, asmgen.RegOperand(isa.AL), asmgen.ImmOperand(1)))
+		narrow = append(narrow, asmgen.MustInst(add, asmgen.RegOperand(isa.RAX), asmgen.RegOperand(isa.RBX)))
+		// The 32/64-bit move zero-extends and breaks the dependency.
+		wide = append(wide, asmgen.MustInst(mov64, asmgen.RegOperand(isa.RAX), asmgen.ImmOperand(1)))
+		wide = append(wide, asmgen.MustInst(add, asmgen.RegOperand(isa.RAX), asmgen.RegOperand(isa.RBX)))
+	}
+	cNarrow := m.MustRun(narrow)
+	cWide := m.MustRun(wide)
+	if cNarrow.Cycles <= cWide.Cycles {
+		t.Errorf("partial-register chain (%d cycles) should be slower than the full-width chain (%d cycles)",
+			cNarrow.Cycles, cWide.Cycles)
+	}
+}
+
+func TestSchedulerSizeLimitsWindow(t *testing.T) {
+	// With a tiny scheduler, a long-latency instruction blocks issue and the
+	// independent work behind it cannot proceed, so the run takes longer
+	// than with the default scheduler size.
+	arch := uarch.Get(uarch.Skylake)
+	small := NewWithConfig(arch, Config{SchedulerSize: 4})
+	normal := New(arch)
+	div := arch.InstrSet().Lookup("DIV_R64")
+	add := arch.InstrSet().Lookup("ADD_R64_R64")
+	var seq asmgen.Sequence
+	seq = append(seq, asmgen.MustInst(div, asmgen.RegOperand(isa.RBX)))
+	for i := 0; i < 60; i++ {
+		seq = append(seq, asmgen.MustInst(add, asmgen.RegOperand(isa.RCX), asmgen.RegOperand(isa.RSI)))
+	}
+	cSmall := small.MustRun(seq)
+	cNormal := normal.MustRun(seq)
+	if cSmall.Cycles < cNormal.Cycles {
+		t.Errorf("a 4-entry scheduler (%d cycles) should not be faster than the 60-entry default (%d cycles)",
+			cSmall.Cycles, cNormal.Cycles)
+	}
+}
+
+func TestCountersCloneAndSub(t *testing.T) {
+	a := Counters{Cycles: 10, PortUops: []int{1, 2, 3}, TotalUops: 6, IssuedUops: 7, ElimUops: 1}
+	b := Counters{Cycles: 4, PortUops: []int{1, 1, 1}, TotalUops: 3, IssuedUops: 3, ElimUops: 0}
+	diff := a.Sub(b)
+	if diff.Cycles != 6 || diff.TotalUops != 3 || diff.IssuedUops != 4 || diff.ElimUops != 1 {
+		t.Errorf("Sub = %+v", diff)
+	}
+	if diff.PortUops[0] != 0 || diff.PortUops[1] != 1 || diff.PortUops[2] != 2 {
+		t.Errorf("Sub port µops = %v", diff.PortUops)
+	}
+	// Sub must not alias the original slices.
+	clone := a.Clone()
+	clone.PortUops[0] = 99
+	if a.PortUops[0] == 99 {
+		t.Error("Clone aliases the original PortUops slice")
+	}
+}

@@ -1,0 +1,666 @@
+// Package pipesim is a cycle-level simulator of the out-of-order execution
+// engine of Intel Core CPUs (Figure 1 of the paper). It stands in for the
+// real hardware in this reproduction: the measurement harness (package
+// measure) runs generated microbenchmark code on it and reads simulated
+// performance counters (core cycles and µops dispatched per port), which is
+// exactly the interface the paper's algorithms use on silicon.
+//
+// The simulator models the mechanisms the characterization algorithms have to
+// cope with:
+//
+//   - a front end that issues up to IssueWidth µops per cycle, in order;
+//   - register renaming (no false WAW/WAR dependencies), with move
+//     elimination and zero-idiom handling in the rename stage;
+//   - a finite unified scheduler that dispatches the oldest ready µops to
+//     execution ports, at most one µop per port per cycle;
+//   - per-µop latencies, including different latencies to different outputs;
+//   - individual status-flag dependencies and partial-register merges;
+//   - load latency, store-address/store-data µops and memory dependencies;
+//   - a non-pipelined divider unit with value-dependent occupancy;
+//   - bypass delays between the vector-integer and floating-point domains;
+//   - SSE/AVX transition penalties.
+package pipesim
+
+import (
+	"fmt"
+
+	"uopsinfo/internal/asmgen"
+	"uopsinfo/internal/isa"
+	"uopsinfo/internal/uarch"
+)
+
+// DividerValues selects whether operand values for divider-based instructions
+// are "fast" or "slow" (Section 5.2.5: the latency and throughput of
+// divisions depend on the operand values). The microbenchmark generator pins
+// operand values accordingly; the simulator, which does not track actual data
+// values, is told which regime the pinned values are in.
+type DividerValues int
+
+// Divider value regimes.
+const (
+	// SlowDividerValues corresponds to operand values that lead to the high
+	// (worst-case) latency.
+	SlowDividerValues DividerValues = iota
+	// FastDividerValues corresponds to operand values that lead to the low
+	// latency.
+	FastDividerValues
+)
+
+// Counters is the simulated performance-counter state after running a code
+// sequence: elapsed core cycles and the number of µops dispatched to each
+// port (Section 3.3).
+type Counters struct {
+	Cycles     int
+	PortUops   []int
+	TotalUops  int // µops dispatched to an execution port
+	IssuedUops int // all µops, including those handled at rename
+	ElimUops   int // µops eliminated at rename (moves, zero idioms, NOPs)
+}
+
+// Clone returns a deep copy of the counters.
+func (c Counters) Clone() Counters {
+	out := c
+	out.PortUops = append([]int(nil), c.PortUops...)
+	return out
+}
+
+// Sub returns c - o element-wise (used by the measurement protocol to remove
+// harness overhead).
+func (c Counters) Sub(o Counters) Counters {
+	out := c.Clone()
+	out.Cycles -= o.Cycles
+	out.TotalUops -= o.TotalUops
+	out.IssuedUops -= o.IssuedUops
+	out.ElimUops -= o.ElimUops
+	for i := range out.PortUops {
+		if i < len(o.PortUops) {
+			out.PortUops[i] -= o.PortUops[i]
+		}
+	}
+	return out
+}
+
+// Config controls simulation parameters that are not part of the
+// per-generation profile.
+type Config struct {
+	// SchedulerSize is the number of entries in the unified reservation
+	// station. Zero selects the default of 60 entries.
+	SchedulerSize int
+	// MaxCycles aborts runaway simulations. Zero selects a large default.
+	MaxCycles int
+	// DividerValues selects the operand-value regime for divider-based
+	// instructions.
+	DividerValues DividerValues
+}
+
+// Machine simulates one microarchitecture generation.
+type Machine struct {
+	arch *uarch.Arch
+	cfg  Config
+}
+
+// New returns a Machine for the given microarchitecture with default
+// configuration.
+func New(arch *uarch.Arch) *Machine {
+	return NewWithConfig(arch, Config{})
+}
+
+// NewWithConfig returns a Machine with explicit configuration.
+func NewWithConfig(arch *uarch.Arch, cfg Config) *Machine {
+	if cfg.SchedulerSize <= 0 {
+		cfg.SchedulerSize = 60
+	}
+	if cfg.MaxCycles <= 0 {
+		cfg.MaxCycles = 5_000_000
+	}
+	return &Machine{arch: arch, cfg: cfg}
+}
+
+// Arch returns the microarchitecture the machine simulates.
+func (m *Machine) Arch() *uarch.Arch { return m.arch }
+
+// SetDividerValues selects the operand-value regime for divider-based
+// instructions in subsequent runs.
+func (m *Machine) SetDividerValues(v DividerValues) { m.cfg.DividerValues = v }
+
+// dynVal is one renamed value (a physical-register-like entity).
+type dynVal struct {
+	ready  int
+	known  bool // producer has dispatched (or the value is live-in)
+	domain isa.Domain
+}
+
+// dynUop is one dynamic µop instance.
+type dynUop struct {
+	ports      []int
+	reads      []*dynVal
+	writes     []*dynVal
+	writeLat   []int
+	eliminated bool
+	divider    bool
+	divOcc     int
+	domain     isa.Domain
+	dispatched bool
+}
+
+// resKey identifies an architectural resource for dependency tracking.
+type resKey struct {
+	kind int // 0=register family, 1=flag, 2=memory address
+	id   uint64
+}
+
+func regKey(r isa.Reg) resKey   { return resKey{kind: 0, id: uint64(r.Family())} }
+func flagKey(f isa.Flag) resKey { return resKey{kind: 1, id: uint64(f)} }
+func memKey(addr uint64) resKey { return resKey{kind: 2, id: addr} }
+
+// Run simulates the code sequence starting from an idle pipeline with all
+// inputs ready, and returns the performance counters.
+func (m *Machine) Run(code asmgen.Sequence) (Counters, error) {
+	uops, penalty, err := m.rename(code)
+	if err != nil {
+		return Counters{}, err
+	}
+	c := m.execute(uops)
+	c.Cycles += penalty
+	return c, nil
+}
+
+// MustRun is like Run but panics on error (for code generated from validated
+// instruction sets).
+func (m *Machine) MustRun(code asmgen.Sequence) Counters {
+	c, err := m.Run(code)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// rename performs the program-order pre-pass: it decomposes every instruction
+// into dynamic µops, resolves register/flag/memory dependencies to renamed
+// values, applies zero-idiom and same-register special cases, and computes
+// the SSE/AVX transition penalty.
+func (m *Machine) rename(code asmgen.Sequence) ([]*dynUop, int, error) {
+	latest := make(map[resKey]*dynVal)
+	liveIn := func(k resKey, dom isa.Domain) *dynVal {
+		if v, ok := latest[k]; ok {
+			return v
+		}
+		v := &dynVal{ready: 0, known: true, domain: dom}
+		latest[k] = v
+		return v
+	}
+
+	var uops []*dynUop
+	penalty := 0
+	avxDirty := false
+	depMoveCounter := 0
+	// produced tracks register families written by earlier instructions in
+	// the measured code (as opposed to live-in values), which is what decides
+	// whether a register-to-register move is trivially eliminable.
+	produced := make(map[resKey]bool)
+
+	for _, inst := range code {
+		in := inst.Variant
+		perf := m.arch.Perf(in)
+
+		// SSE/AVX transition penalty (Section 5.1.1 explains why blocking
+		// instructions are chosen per extension family to avoid this).
+		if p := m.arch.SSEAVXPenalty(); p > 0 {
+			switch {
+			case in.Extension.IsAVX():
+				for _, op := range in.ExplicitOperands() {
+					if op.Class == isa.ClassYMM {
+						avxDirty = true
+					}
+				}
+			case in.Extension.IsSSE() && avxDirty:
+				penalty += p
+				avxDirty = false
+			}
+			if in.Mnemonic == "VZEROUPPER" || in.Mnemonic == "VZEROALL" {
+				avxDirty = false
+			}
+		}
+
+		// Same-register override (e.g. SHLD on Skylake, Section 7.3.2).
+		sameReg, regCount := allExplicitRegsEqual(inst)
+		if perf.SameRegOverride != nil && sameReg && regCount >= 2 {
+			perf = perf.SameRegOverride
+		}
+		zeroIdiom := perf.ZeroIdiom && sameReg && regCount >= 2
+
+		// Move elimination: a register-to-register move whose source is not
+		// produced inside the measured code is always eliminated; inside a
+		// dependent chain roughly every third move is eliminated (the
+		// behaviour the paper reports in Section 5.2.1).
+		moveElim := false
+		if perf.MoveElim && isRegRegMove(inst) {
+			srcOp := inst.Ops[1]
+			if !produced[regKey(srcOp.Reg)] {
+				moveElim = true
+			} else {
+				depMoveCounter++
+				moveElim = depMoveCounter%3 == 0
+			}
+		}
+
+		domain := in.Domain
+		temps := make(map[int]*dynVal)
+
+		for ui := range perf.Uops {
+			spec := &perf.Uops[ui]
+			du := &dynUop{
+				ports:   spec.Ports,
+				divider: spec.Divider,
+				divOcc:  spec.DivOccupancy,
+				domain:  domain,
+			}
+			if len(spec.Ports) == 0 {
+				du.eliminated = true
+			}
+			if zeroIdiom {
+				if perf.ZeroIdiomElim {
+					du.eliminated = true
+					du.ports = nil
+				}
+			}
+			if moveElim {
+				du.eliminated = true
+				du.ports = nil
+			}
+			if spec.Divider && m.cfg.DividerValues == FastDividerValues {
+				du.divOcc = perf.DivOccupancyLowValues
+			}
+
+			// Resolve reads. Store-address µops only depend on the address
+			// registers of the memory operand, not on the previous memory
+			// contents.
+			for _, ref := range spec.Reads {
+				if zeroIdiom && ref.Kind == uarch.ValOperand && in.Operands[ref.Index].Kind == isa.OpReg {
+					continue // the idiom breaks the dependency on the register
+				}
+				du.reads = append(du.reads, m.resolveReads(inst, ref, temps, latest, liveIn, spec.StoreAddr)...)
+			}
+			// Resolve writes.
+			for wi, ref := range spec.Writes {
+				lat := spec.LatencyTo(wi)
+				if spec.Load {
+					lat += m.arch.LoadLatency()
+				}
+				if spec.Divider && m.cfg.DividerValues == FastDividerValues && perf.LatencyLowValues > 0 {
+					lat = perf.LatencyLowValues
+				}
+				if lat < 1 && !du.eliminated {
+					lat = 1
+				}
+				newVals, mergeReads := m.resolveWrites(inst, ref, temps, latest, liveIn, domain)
+				du.reads = append(du.reads, mergeReads...)
+				for _, nv := range newVals {
+					du.writes = append(du.writes, nv)
+					du.writeLat = append(du.writeLat, lat)
+				}
+				if ref.Kind == uarch.ValOperand && ref.Index < len(in.Operands) {
+					op := in.Operands[ref.Index]
+					if op.Kind == isa.OpReg {
+						if r := inst.OperandFor(ref.Index).Reg; r != isa.RegNone {
+							produced[regKey(r)] = true
+						}
+					}
+				}
+			}
+			// A µop never waits for values it produces itself (this can
+			// otherwise happen through partial-register merge reads when two
+			// written operands alias the same register).
+			if len(du.writes) > 0 && len(du.reads) > 0 {
+				own := make(map[*dynVal]bool, len(du.writes))
+				for _, w := range du.writes {
+					own[w] = true
+				}
+				kept := du.reads[:0]
+				for _, r := range du.reads {
+					if !own[r] {
+						kept = append(kept, r)
+					}
+				}
+				du.reads = kept
+			}
+			uops = append(uops, du)
+		}
+	}
+	return uops, penalty, nil
+}
+
+// resolveReads maps a µop read reference to the renamed values it consumes.
+// addrOnly restricts memory operands to their address registers (used for
+// store-address µops, which do not consume the previous memory contents).
+func (m *Machine) resolveReads(inst *asmgen.Inst, ref uarch.ValRef, temps map[int]*dynVal,
+	latest map[resKey]*dynVal, liveIn func(resKey, isa.Domain) *dynVal, addrOnly bool) []*dynVal {
+
+	if ref.Kind == uarch.ValTemp {
+		if v, ok := temps[ref.Index]; ok {
+			return []*dynVal{v}
+		}
+		// A read of a temp that has no producer (defensive): treat as ready.
+		v := &dynVal{ready: 0, known: true}
+		temps[ref.Index] = v
+		return []*dynVal{v}
+	}
+	in := inst.Variant
+	if ref.Index < 0 || ref.Index >= len(in.Operands) {
+		return nil
+	}
+	spec := in.Operands[ref.Index]
+	conc := inst.OperandFor(ref.Index)
+	switch spec.Kind {
+	case isa.OpReg:
+		r := conc.Reg
+		if r == isa.RegNone {
+			return nil
+		}
+		return []*dynVal{liveIn(regKey(r), in.Domain)}
+	case isa.OpMem:
+		if conc.Mem == nil {
+			return nil
+		}
+		if addrOnly {
+			return []*dynVal{liveIn(regKey(conc.Mem.Base), isa.DomainInt)}
+		}
+		// A memory read depends on the address register and on the latest
+		// store to the same address (store-to-load forwarding resolves
+		// through the renamed memory value).
+		return []*dynVal{
+			liveIn(regKey(conc.Mem.Base), isa.DomainInt),
+			liveIn(memKey(conc.Mem.Addr), in.Domain),
+		}
+	case isa.OpFlags:
+		var out []*dynVal
+		for _, f := range spec.ReadFlags.Flags() {
+			out = append(out, liveIn(flagKey(f), isa.DomainInt))
+		}
+		return out
+	}
+	return nil
+}
+
+// resolveWrites maps a µop write reference to freshly renamed values, and
+// returns any additional reads implied by partial-register merges.
+func (m *Machine) resolveWrites(inst *asmgen.Inst, ref uarch.ValRef, temps map[int]*dynVal,
+	latest map[resKey]*dynVal, liveIn func(resKey, isa.Domain) *dynVal, domain isa.Domain) (writes, mergeReads []*dynVal) {
+
+	if ref.Kind == uarch.ValTemp {
+		v := &dynVal{domain: domain}
+		temps[ref.Index] = v
+		return []*dynVal{v}, nil
+	}
+	in := inst.Variant
+	if ref.Index < 0 || ref.Index >= len(in.Operands) {
+		return nil, nil
+	}
+	spec := in.Operands[ref.Index]
+	conc := inst.OperandFor(ref.Index)
+	switch spec.Kind {
+	case isa.OpReg:
+		r := conc.Reg
+		if r == isa.RegNone {
+			return nil, nil
+		}
+		// Writing an 8- or 16-bit part of a general-purpose register merges
+		// with the previous contents (the cause of partial-register stalls,
+		// Section 5.2.1); the merge is modelled as an extra read of the old
+		// value.
+		if spec.Class == isa.ClassGPR8 || spec.Class == isa.ClassGPR16 {
+			mergeReads = append(mergeReads, liveIn(regKey(r), in.Domain))
+		}
+		v := &dynVal{domain: domain}
+		latest[regKey(r)] = v
+		return []*dynVal{v}, mergeReads
+	case isa.OpMem:
+		if conc.Mem == nil {
+			return nil, nil
+		}
+		mergeReads = append(mergeReads, liveIn(regKey(conc.Mem.Base), isa.DomainInt))
+		v := &dynVal{domain: domain}
+		latest[memKey(conc.Mem.Addr)] = v
+		return []*dynVal{v}, mergeReads
+	case isa.OpFlags:
+		for _, f := range spec.WriteFlags.Flags() {
+			v := &dynVal{domain: isa.DomainInt}
+			latest[flagKey(f)] = v
+			writes = append(writes, v)
+		}
+		return writes, nil
+	}
+	return nil, nil
+}
+
+// allExplicitRegsEqual reports whether all explicit register operands of the
+// instruction use the same concrete register, and how many there are.
+func allExplicitRegsEqual(inst *asmgen.Inst) (bool, int) {
+	var first isa.Reg
+	count := 0
+	for i, spec := range inst.Variant.ExplicitOperands() {
+		if spec.Kind != isa.OpReg {
+			continue
+		}
+		r := inst.Ops[i].Reg
+		count++
+		if count == 1 {
+			first = r
+		} else if r != first {
+			return false, count
+		}
+	}
+	return count > 0, count
+}
+
+// isRegRegMove reports whether the concrete instruction is a plain
+// register-to-register move with two explicit register operands.
+func isRegRegMove(inst *asmgen.Inst) bool {
+	expl := inst.Variant.ExplicitOperands()
+	if len(expl) != 2 {
+		return false
+	}
+	return expl[0].Kind == isa.OpReg && expl[1].Kind == isa.OpReg &&
+		expl[0].Write && !expl[0].Read && expl[1].Read && !expl[1].Write
+}
+
+// bypassDelay returns the extra forwarding latency when a value produced in
+// domain from is consumed in domain to (Section 5.2.1: bypass delays between
+// integer and floating-point SIMD operations).
+func bypassDelay(from, to isa.Domain) int {
+	if from == to {
+		return 0
+	}
+	if (from == isa.DomainVecInt && to == isa.DomainFP) || (from == isa.DomainFP && to == isa.DomainVecInt) {
+		return 1
+	}
+	return 0
+}
+
+// execute runs the cycle-by-cycle issue/dispatch loop.
+func (m *Machine) execute(uops []*dynUop) Counters {
+	numPorts := m.arch.NumPorts()
+	c := Counters{PortUops: make([]int, numPorts)}
+	c.IssuedUops = len(uops)
+
+	issueWidth := m.arch.IssueWidth()
+	schedSize := m.cfg.SchedulerSize
+
+	var sched []*dynUop // issued, waiting for dispatch
+	var elim []*dynUop  // issued, handled at rename, waiting for inputs to be known
+	nextIssue := 0      // next µop (program order) to issue
+	dividerFreeAt := 0  // next cycle the divider can accept a µop
+	portLoad := make([]int, numPorts)
+	finish := 0
+
+	cycle := 0
+	idleCycles := 0
+	for cycle < m.cfg.MaxCycles {
+		// Issue stage: deliver up to issueWidth µops into the scheduler (or
+		// complete them directly if they need no execution port).
+		issued := 0
+		for nextIssue < len(uops) && issued < issueWidth && len(sched) < schedSize {
+			u := uops[nextIssue]
+			nextIssue++
+			issued++
+			if u.eliminated {
+				c.ElimUops++
+				elim = append(elim, u)
+				continue
+			}
+			sched = append(sched, u)
+		}
+
+		// Rename-handled µops complete as soon as their inputs are known;
+		// their outputs are ready when their inputs are (zero latency).
+		if len(elim) > 0 {
+			kept := elim[:0]
+			for _, u := range elim {
+				allKnown := true
+				ready := cycle
+				for _, r := range u.reads {
+					if !r.known {
+						allKnown = false
+						break
+					}
+					if r.ready > ready {
+						ready = r.ready
+					}
+				}
+				if !allKnown {
+					kept = append(kept, u)
+					continue
+				}
+				for i, w := range u.writes {
+					_ = i
+					w.ready = ready
+					w.known = true
+					w.domain = u.domain
+				}
+				if ready > finish {
+					finish = ready
+				}
+				u.dispatched = true
+			}
+			elim = kept
+		}
+
+		// Dispatch stage: oldest-first, one µop per port per cycle.
+		portTaken := make([]bool, numPorts)
+		dispatchedAny := false
+		for _, u := range sched {
+			if u.dispatched {
+				continue
+			}
+			ready := true
+			for _, r := range u.reads {
+				if !r.known || r.ready+bypassDelay(r.domain, u.domain) > cycle {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			if u.divider && cycle < dividerFreeAt {
+				continue
+			}
+			p := choosePort(u.ports, portTaken, portLoad)
+			if p < 0 {
+				continue
+			}
+			portTaken[p] = true
+			portLoad[p]++
+			c.PortUops[p]++
+			c.TotalUops++
+			u.dispatched = true
+			dispatchedAny = true
+			if u.divider {
+				occ := u.divOcc
+				if occ < 1 {
+					occ = 1
+				}
+				dividerFreeAt = cycle + occ
+			}
+			for i, w := range u.writes {
+				lat := u.writeLat[i]
+				if lat < 1 {
+					lat = 1
+				}
+				w.ready = cycle + lat
+				w.known = true
+				w.domain = u.domain
+				if w.ready > finish {
+					finish = w.ready
+				}
+			}
+			if len(u.writes) == 0 && cycle+1 > finish {
+				finish = cycle + 1
+			}
+		}
+		// Compact the scheduler.
+		if len(sched) > 0 {
+			kept := sched[:0]
+			for _, u := range sched {
+				if !u.dispatched {
+					kept = append(kept, u)
+				}
+			}
+			sched = kept
+		}
+
+		cycle++
+		if nextIssue >= len(uops) && len(sched) == 0 && len(elim) == 0 {
+			break
+		}
+		// Deadlock guard: µops are stuck waiting for values that are blocked
+		// forever (a modelling bug rather than a property of the code under
+		// test); a divider occupancy can legitimately stall dispatch for a
+		// bounded number of cycles, so allow a generous margin.
+		if issued == 0 && !dispatchedAny {
+			idleCycles++
+			if idleCycles > 10000 {
+				break
+			}
+		} else {
+			idleCycles = 0
+		}
+	}
+
+	if finish < cycle {
+		finish = cycle
+	}
+	c.Cycles = finish
+	return c
+}
+
+// choosePort picks an allowed, free port for a µop, preferring the port with
+// the lowest accumulated load (a simple load-balancing heuristic similar in
+// spirit to the hardware's port-binding policy). It returns -1 if no allowed
+// port is free this cycle.
+func choosePort(allowed []int, taken []bool, load []int) int {
+	best := -1
+	for _, p := range allowed {
+		if p < 0 || p >= len(taken) || taken[p] {
+			continue
+		}
+		if best == -1 || load[p] < load[best] {
+			best = p
+		}
+	}
+	return best
+}
+
+// Validate checks that every instruction in the sequence belongs to the
+// machine's instruction set; it is used by the measurement harness before
+// running benchmarks.
+func (m *Machine) Validate(code asmgen.Sequence) error {
+	set := m.arch.InstrSet()
+	for i, inst := range code {
+		if set.Lookup(inst.Variant.Name) == nil {
+			return fmt.Errorf("pipesim: %s: instruction %d (%s) is not available on this microarchitecture",
+				m.arch.Name(), i, inst.Variant.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package report
+
+import (
+	"fmt"
+
+	"uopsinfo/internal/asmgen"
+	"uopsinfo/internal/isa"
+	"uopsinfo/internal/uarch"
+)
+
+// buildSimple builds a one-instruction sequence for a variant without
+// explicit operands (e.g. CMC).
+func buildSimple(arch *uarch.Arch, name string) (asmgen.Sequence, error) {
+	in := arch.InstrSet().Lookup(name)
+	if in == nil {
+		return nil, fmt.Errorf("report: %s has no variant %q", arch.Name(), name)
+	}
+	inst, err := asmgen.NewInst(in)
+	if err != nil {
+		return nil, err
+	}
+	return asmgen.Sequence{inst}, nil
+}
+
+// buildStoreLoadPair builds the "mov [RAX], RBX; mov RBX, [RAX]" sequence the
+// paper uses to show that IACA ignores memory dependencies (Section 7.2).
+func buildStoreLoadPair(arch *uarch.Arch) (asmgen.Sequence, error) {
+	store := arch.InstrSet().Lookup("MOV_M64_R64")
+	load := arch.InstrSet().Lookup("MOV_R64_M64")
+	if store == nil || load == nil {
+		return nil, fmt.Errorf("report: %s is missing the MOV store/load variants", arch.Name())
+	}
+	const addr = 0x8000
+	seq := asmgen.Sequence{
+		asmgen.MustInst(store, asmgen.MemOperand(isa.RAX, addr), asmgen.RegOperand(isa.RBX)),
+		asmgen.MustInst(load, asmgen.RegOperand(isa.RBX), asmgen.MemOperand(isa.RAX, addr)),
+	}
+	return seq, nil
+}

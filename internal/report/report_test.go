@@ -1,0 +1,143 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"uopsinfo/internal/uarch"
+)
+
+func TestTable1RowSkylake(t *testing.T) {
+	row, err := BuildTable1Row(uarch.Get(uarch.Skylake), Table1Options{SampleEvery: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Arch != "Skylake" || row.Processor == "" {
+		t.Errorf("row header incomplete: %+v", row)
+	}
+	if row.NumVariants < 1800 {
+		t.Errorf("Skylake variant count = %d, want >= 1800", row.NumVariants)
+	}
+	if row.IACAVersions != "2.3-3.0" {
+		t.Errorf("IACA versions = %q, want 2.3-3.0", row.IACAVersions)
+	}
+	if row.Compared == 0 {
+		t.Fatal("no variants were compared")
+	}
+	// The µop and port agreement must be high but below 100% (the injected
+	// IACA discrepancies), matching the shape of Table 1.
+	if row.UopsMatchPct < 60 || row.UopsMatchPct >= 100 {
+		t.Errorf("µop agreement = %.1f%%, want high but below 100%%", row.UopsMatchPct)
+	}
+	if row.PortsMatchPct <= 0 || row.PortsMatchPct > 100 {
+		t.Errorf("port agreement = %.1f%%, out of range", row.PortsMatchPct)
+	}
+}
+
+func TestTable1RowKabyLakeHasNoIACA(t *testing.T) {
+	row, err := BuildTable1Row(uarch.Get(uarch.KabyLake), Table1Options{SampleEvery: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.IACAVersions != "-" || row.Compared != 0 {
+		t.Errorf("Kaby Lake should have no IACA comparison: %+v", row)
+	}
+	if row.NumVariants < 1800 {
+		t.Errorf("Kaby Lake variant count = %d, want >= 1800", row.NumVariants)
+	}
+}
+
+func TestVariantCountsIncreaseAcrossGenerations(t *testing.T) {
+	// The third column of Table 1 grows from Nehalem to Coffee Lake because
+	// newer generations support more extensions.
+	nhm := uarch.Get(uarch.Nehalem).InstrSet().Len()
+	hsw := uarch.Get(uarch.Haswell).InstrSet().Len()
+	cfl := uarch.Get(uarch.CoffeeLake).InstrSet().Len()
+	if !(nhm < hsw && hsw <= cfl) {
+		t.Errorf("variant counts do not grow: Nehalem %d, Haswell %d, Coffee Lake %d", nhm, hsw, cfl)
+	}
+}
+
+func TestFormatTable1(t *testing.T) {
+	rows := []Table1Row{
+		{Arch: "Skylake", Processor: "Core i7-6500U", NumVariants: 2000, IACAVersions: "2.3-3.0",
+			Compared: 100, UopsMatchPct: 92.5, PortsMatchPct: 95.0},
+		{Arch: "Kaby Lake", Processor: "Core i7-7700", NumVariants: 2000, IACAVersions: "-"},
+	}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "Skylake") || !strings.Contains(out, "92.50%") {
+		t.Errorf("FormatTable1 output missing expected fields:\n%s", out)
+	}
+	if !strings.Contains(out, "Kaby Lake") || !strings.Contains(strings.Split(out, "\n")[2], "-") {
+		t.Errorf("unsupported generation should show '-':\n%s", out)
+	}
+}
+
+func TestCaseStudyFormatting(t *testing.T) {
+	cs := &CaseStudy{ID: "7.3.1", Title: "AES"}
+	cs.add("row one", "value %d", 42)
+	out := cs.Format()
+	if !strings.Contains(out, "[7.3.1] AES") || !strings.Contains(out, "row one") || !strings.Contains(out, "value 42") {
+		t.Errorf("Format output unexpected:\n%s", out)
+	}
+}
+
+func TestPortUsageMotivationStudy(t *testing.T) {
+	ctx := NewContext()
+	cs, err := PortUsageMotivationStudy(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := cs.Format()
+	if !strings.Contains(text, "2*p05") {
+		t.Errorf("PBLENDVB study should find 2*p05:\n%s", text)
+	}
+	if !strings.Contains(text, "1*p06+1*p0156") {
+		t.Errorf("ADC study should find 1*p06+1*p0156:\n%s", text)
+	}
+}
+
+func TestMOVQ2DQStudy(t *testing.T) {
+	ctx := NewContext()
+	cs, err := MOVQ2DQStudy(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := cs.Format()
+	if !strings.Contains(text, "1*p0+1*p015") {
+		t.Errorf("MOVQ2DQ study should report 1*p0+1*p015 for the blocking algorithm:\n%s", text)
+	}
+	if !strings.Contains(text, "2*p5") {
+		t.Errorf("MOVQ2DQ study should report the IACA claim of 2*p5:\n%s", text)
+	}
+}
+
+func TestSHLDStudyValues(t *testing.T) {
+	ctx := NewContext()
+	cs, err := SHLDStudy(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := cs.Format()
+	if !strings.Contains(text, "Nehalem") || !strings.Contains(text, "Skylake") {
+		t.Errorf("SHLD study should cover Nehalem and Skylake:\n%s", text)
+	}
+	if !strings.Contains(text, "lat(R1->R1)=3.0") {
+		t.Errorf("SHLD study should measure lat(R1,R1)=3 on Nehalem:\n%s", text)
+	}
+}
+
+func TestHelpersBuildSequences(t *testing.T) {
+	skl := uarch.Get(uarch.Skylake)
+	seq, err := buildSimple(skl, "CMC")
+	if err != nil || len(seq) != 1 {
+		t.Fatalf("buildSimple failed: %v", err)
+	}
+	pair, err := buildStoreLoadPair(skl)
+	if err != nil || len(pair) != 2 {
+		t.Fatalf("buildStoreLoadPair failed: %v", err)
+	}
+	if _, err := buildSimple(skl, "NO_SUCH_VARIANT"); err == nil {
+		t.Error("buildSimple accepted an unknown variant")
+	}
+}

@@ -1,0 +1,200 @@
+package uarch
+
+import "uopsinfo/internal/isa"
+
+// profileFor returns the port layout and pipeline parameters of a generation.
+// The port groups follow the publicly documented execution-port layouts of
+// the Intel Core generations: six ports on Nehalem through Ivy Bridge, eight
+// ports on Haswell and later (Figure 1 of the paper shows the six-port
+// variant).
+func profileFor(g Generation) profile {
+	switch g {
+	case Nehalem, Westmere:
+		return profile{
+			numPorts:   6,
+			issueWidth: 4,
+			loadLat:    4,
+			intALU:     []int{0, 1, 5},
+			intShift:   []int{0, 5},
+			intMul:     []int{1},
+			intDiv:     []int{0},
+			lea:        []int{0, 1},
+			branch:     []int{5},
+			load:       []int{2},
+			storeAddr:  []int{3},
+			storeData:  []int{4},
+			fpAdd:      []int{1},
+			fpMul:      []int{0},
+			fpDiv:      []int{0},
+			vecALU:     []int{0, 1, 5},
+			vecMul:     []int{0},
+			vecLogic:   []int{0, 1, 5},
+			shuffle:    []int{0, 5},
+			aes:        []int{0, 1, 5},
+			slowInt:    []int{0, 1, 5},
+
+			moveElimGPR:   false,
+			moveElimVec:   false,
+			zeroIdiomElim: false,
+			sseAvxPenalty: 0,
+
+			fpAddLat:  3,
+			fpMulLat:  4,
+			fmaLat:    0,
+			aesLat:    6,
+			vecMulLat: 3,
+		}
+	case SandyBridge, IvyBridge:
+		p := profile{
+			numPorts:   6,
+			issueWidth: 4,
+			loadLat:    4,
+			intALU:     []int{0, 1, 5},
+			intShift:   []int{0, 5},
+			intMul:     []int{1},
+			intDiv:     []int{0},
+			lea:        []int{0, 1},
+			branch:     []int{5},
+			load:       []int{2, 3},
+			storeAddr:  []int{2, 3},
+			storeData:  []int{4},
+			fpAdd:      []int{1},
+			fpMul:      []int{0},
+			fpDiv:      []int{0},
+			vecALU:     []int{1, 5},
+			vecMul:     []int{0},
+			vecLogic:   []int{0, 1, 5},
+			shuffle:    []int{5},
+			aes:        []int{0},
+			slowInt:    []int{0, 1, 5},
+
+			moveElimGPR:   false,
+			moveElimVec:   false,
+			zeroIdiomElim: true,
+			sseAvxPenalty: 70,
+
+			fpAddLat:  3,
+			fpMulLat:  5,
+			fmaLat:    0,
+			aesLat:    8,
+			vecMulLat: 3,
+		}
+		if g == IvyBridge {
+			p.moveElimGPR = true
+			p.moveElimVec = true
+		}
+		return p
+	case Haswell, Broadwell:
+		return profile{
+			numPorts:   8,
+			issueWidth: 4,
+			loadLat:    4,
+			intALU:     []int{0, 1, 5, 6},
+			intShift:   []int{0, 6},
+			intMul:     []int{1},
+			intDiv:     []int{0},
+			lea:        []int{1, 5},
+			branch:     []int{6},
+			load:       []int{2, 3},
+			storeAddr:  []int{2, 3, 7},
+			storeData:  []int{4},
+			fpAdd:      []int{1},
+			fpMul:      []int{0, 1},
+			fpDiv:      []int{0},
+			vecALU:     []int{1, 5},
+			vecMul:     []int{0},
+			vecLogic:   []int{0, 1, 5},
+			shuffle:    []int{5},
+			aes:        []int{5},
+			slowInt:    []int{0, 1, 5, 6},
+
+			moveElimGPR:   true,
+			moveElimVec:   true,
+			zeroIdiomElim: true,
+			sseAvxPenalty: 70,
+
+			fpAddLat:  3,
+			fpMulLat:  5,
+			fmaLat:    5,
+			aesLat:    7,
+			vecMulLat: 5,
+		}
+	case Skylake, KabyLake, CoffeeLake:
+		return profile{
+			numPorts:   8,
+			issueWidth: 4,
+			loadLat:    4,
+			intALU:     []int{0, 1, 5, 6},
+			intShift:   []int{0, 6},
+			intMul:     []int{1},
+			intDiv:     []int{0},
+			lea:        []int{1, 5},
+			branch:     []int{6},
+			load:       []int{2, 3},
+			storeAddr:  []int{2, 3, 7},
+			storeData:  []int{4},
+			fpAdd:      []int{0, 1},
+			fpMul:      []int{0, 1},
+			fpDiv:      []int{0},
+			vecALU:     []int{0, 1, 5},
+			vecMul:     []int{0, 1},
+			vecLogic:   []int{0, 1, 5},
+			shuffle:    []int{5},
+			aes:        []int{0},
+			slowInt:    []int{0, 1, 5, 6},
+
+			moveElimGPR:   true,
+			moveElimVec:   true,
+			zeroIdiomElim: true,
+			sseAvxPenalty: 0,
+
+			fpAddLat:  4,
+			fpMulLat:  4,
+			fmaLat:    4,
+			aesLat:    4,
+			vecMulLat: 5,
+		}
+	}
+	panic("uarch: unknown generation")
+}
+
+// extensionsFor returns the ISA extensions implemented by a generation. The
+// growing extension list is what makes the per-generation instruction-variant
+// counts in Table 1 increase from Nehalem to Coffee Lake.
+func extensionsFor(g Generation) map[isa.Extension]bool {
+	exts := map[isa.Extension]bool{
+		isa.ExtBase:   true,
+		isa.ExtMMX:    true,
+		isa.ExtSSE:    true,
+		isa.ExtSSE2:   true,
+		isa.ExtSSE3:   true,
+		isa.ExtSSSE3:  true,
+		isa.ExtSSE41:  true,
+		isa.ExtSSE42:  true,
+		isa.ExtSystem: true,
+	}
+	add := func(names ...isa.Extension) {
+		for _, n := range names {
+			exts[n] = true
+		}
+	}
+	if g >= Westmere {
+		add(isa.ExtAES, isa.ExtCLMUL)
+	}
+	if g >= SandyBridge {
+		add(isa.ExtAVX)
+	}
+	if g >= IvyBridge {
+		add(isa.ExtF16C, isa.Extension("RDRAND"))
+	}
+	if g >= Haswell {
+		add(isa.ExtAVX2, isa.ExtBMI, isa.ExtFMA, isa.Extension("MOVBE"))
+	}
+	if g >= Broadwell {
+		add(isa.Extension("ADX"), isa.Extension("RDSEED"))
+	}
+	if g >= Skylake {
+		add(isa.Extension("CLFLUSHOPT"))
+	}
+	return exts
+}

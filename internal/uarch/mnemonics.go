@@ -1,0 +1,129 @@
+package uarch
+
+import "strings"
+
+// Mnemonic classification tables used by the rule-based assignment. The
+// classifiers receive the mnemonic with a leading "V" (AVX form) already
+// stripped, except where noted.
+
+var shuffleMnemonics = map[string]bool{
+	"PSHUFD": true, "PSHUFLW": true, "PSHUFHW": true,
+	"PUNPCKLBW": true, "PUNPCKLWD": true, "PUNPCKLDQ": true, "PUNPCKLQDQ": true,
+	"PUNPCKHBW": true, "PUNPCKHWD": true, "PUNPCKHDQ": true, "PUNPCKHQDQ": true,
+	"PACKSSWB": true, "PACKSSDW": true, "PACKUSWB": true, "PACKUSDW": true,
+	"PALIGNR": true, "SHUFPS": true, "SHUFPD": true,
+	"UNPCKLPS": true, "UNPCKHPS": true, "UNPCKLPD": true, "UNPCKHPD": true,
+	"INSERTPS": true, "PSLLDQ": true, "PSRLDQ": true,
+	"PMOVSXBW": true, "PMOVSXBD": true, "PMOVSXBQ": true,
+	"PMOVSXWD": true, "PMOVSXWQ": true, "PMOVSXDQ": true,
+	"PMOVZXBW": true, "PMOVZXBD": true, "PMOVZXBQ": true,
+	"PMOVZXWD": true, "PMOVZXWQ": true, "PMOVZXDQ": true,
+	"PERMILPS": true, "PERMILPD": true, "PERMD": true, "PERMQ": true,
+	"PERMPS": true, "PERMPD": true, "PERM2F128": true, "PERM2I128": true,
+	"BROADCASTSS": true, "BROADCASTSD": true, "BROADCASTF128": true,
+	"PBROADCASTB": true, "PBROADCASTW": true, "PBROADCASTD": true, "PBROADCASTQ": true,
+	"INSERTF128": true, "EXTRACTF128": true, "INSERTI128": true, "EXTRACTI128": true,
+}
+
+var vecLogicMnemonics = map[string]bool{
+	"PAND": true, "PANDN": true, "POR": true, "PXOR": true,
+	"ANDPS": true, "ANDNPS": true, "ORPS": true, "XORPS": true,
+	"ANDPD": true, "ANDNPD": true, "ORPD": true, "XORPD": true,
+}
+
+var vecALUMnemonics = map[string]bool{
+	"PADDB": true, "PADDW": true, "PADDD": true, "PADDQ": true,
+	"PSUBB": true, "PSUBW": true, "PSUBD": true, "PSUBQ": true,
+	"PADDSB": true, "PADDSW": true, "PADDUSB": true, "PADDUSW": true,
+	"PSUBSB": true, "PSUBSW": true, "PSUBUSB": true, "PSUBUSW": true,
+	"PAVGB": true, "PAVGW": true,
+	"PMINUB": true, "PMAXUB": true, "PMINSW": true, "PMAXSW": true,
+	"PMINSB": true, "PMAXSB": true, "PMINUW": true, "PMAXUW": true,
+	"PMINSD": true, "PMAXSD": true, "PMINUD": true, "PMAXUD": true,
+	"PCMPEQB": true, "PCMPEQW": true, "PCMPEQD": true, "PCMPEQQ": true,
+	"PCMPGTB": true, "PCMPGTW": true, "PCMPGTD": true, "PCMPGTQ": true,
+	"PABSB": true, "PABSW": true, "PABSD": true,
+	"PSIGNB": true, "PSIGNW": true, "PSIGND": true,
+}
+
+var vecMulMnemonics = map[string]bool{
+	"PMULLW": true, "PMULHW": true, "PMULHUW": true, "PMULUDQ": true,
+	"PMULLD": true, "PMULDQ": true, "PMADDWD": true, "PMADDUBSW": true,
+	"PMULHRSW": true, "PSADBW": true,
+}
+
+var vecShiftMnemonics = map[string]bool{
+	"PSLLW": true, "PSLLD": true, "PSLLQ": true,
+	"PSRLW": true, "PSRLD": true, "PSRLQ": true,
+	"PSRAW": true, "PSRAD": true,
+	"PSLLVD": true, "PSLLVQ": true, "PSRLVD": true, "PSRLVQ": true, "PSRAVD": true,
+}
+
+var horizontalMnemonics = map[string]bool{
+	"HADDPS": true, "HADDPD": true, "HSUBPS": true, "HSUBPD": true,
+	"PHADDW": true, "PHADDD": true, "PHADDSW": true,
+	"PHSUBW": true, "PHSUBD": true, "PHSUBSW": true,
+}
+
+var fpAddMnemonics = map[string]bool{
+	"ADDPS": true, "ADDPD": true, "ADDSS": true, "ADDSD": true,
+	"SUBPS": true, "SUBPD": true, "SUBSS": true, "SUBSD": true,
+	"ADDSUBPS": true, "ADDSUBPD": true,
+	"MINPS": true, "MINPD": true, "MINSS": true, "MINSD": true,
+	"MAXPS": true, "MAXPD": true, "MAXSS": true, "MAXSD": true,
+	"CMPPS": true, "CMPPD": true, "CMPSS": true, "CMPSD": true,
+	"COMISS": true, "COMISD": true, "UCOMISS": true, "UCOMISD": true,
+	"ROUNDPS": true, "ROUNDPD": true, "ROUNDSS": true, "ROUNDSD": true,
+}
+
+var fpMulMnemonics = map[string]bool{
+	"MULPS": true, "MULPD": true, "MULSS": true, "MULSD": true,
+}
+
+var fpDivMnemonics = map[string]bool{
+	"DIVPS": true, "DIVPD": true, "DIVSS": true, "DIVSD": true,
+	"SQRTPS": true, "SQRTPD": true, "SQRTSS": true, "SQRTSD": true,
+}
+
+var convertMnemonics = map[string]bool{
+	"CVTPS2PD": true, "CVTPD2PS": true, "CVTSS2SD": true, "CVTSD2SS": true,
+	"CVTDQ2PS": true, "CVTPS2DQ": true, "CVTTPS2DQ": true,
+	"CVTDQ2PD": true, "CVTPD2DQ": true,
+	"CVTSI2SS": true, "CVTSI2SD": true, "CVTSS2SI": true, "CVTSD2SI": true,
+	"CVTTSS2SI": true, "CVTTSD2SI": true,
+}
+
+var blendMnemonics = map[string]bool{
+	"PBLENDW": true, "PBLENDVB": true,
+	"BLENDPS": true, "BLENDPD": true, "BLENDVPS": true, "BLENDVPD": true,
+}
+
+var extractInsertMnemonics = map[string]bool{
+	"PEXTRB": true, "PEXTRW": true, "PEXTRD": true, "PEXTRQ": true,
+	"PINSRB": true, "PINSRW": true, "PINSRD": true, "PINSRQ": true,
+	"EXTRACTPS": true,
+}
+
+var gatherMnemonics = map[string]bool{
+	"PGATHERDD": true, "GATHERDPS": true,
+}
+
+func isShuffleMnemonic(m string) bool       { return shuffleMnemonics[m] }
+func isVecLogicMnemonic(m string) bool      { return vecLogicMnemonics[m] }
+func isVecALUMnemonic(m string) bool        { return vecALUMnemonics[m] }
+func isVecMulMnemonic(m string) bool        { return vecMulMnemonics[m] }
+func isVecShiftMnemonic(m string) bool      { return vecShiftMnemonics[m] }
+func isHorizontalMnemonic(m string) bool    { return horizontalMnemonics[m] }
+func isFPAddMnemonic(m string) bool         { return fpAddMnemonics[m] }
+func isFPMulMnemonic(m string) bool         { return fpMulMnemonics[m] }
+func isFPDivMnemonic(m string) bool         { return fpDivMnemonics[m] }
+func isConvertMnemonic(m string) bool       { return convertMnemonics[m] }
+func isBlendMnemonic(m string) bool         { return blendMnemonics[m] }
+func isExtractInsertMnemonic(m string) bool { return extractInsertMnemonics[m] }
+func isGatherMnemonic(m string) bool        { return gatherMnemonics[m] }
+
+// isFMAMnemonic operates on the full mnemonic (VFMADD213PS and friends).
+func isFMAMnemonic(m string) bool {
+	return strings.HasPrefix(m, "VFMADD") || strings.HasPrefix(m, "VFMSUB") ||
+		strings.HasPrefix(m, "VFNMADD") || strings.HasPrefix(m, "VFNMSUB")
+}

@@ -1,0 +1,194 @@
+package xedspec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Builder accumulates datafile entries. Generator functions (gen_base.go,
+// gen_vector.go) use its helper methods to emit instruction variants in a
+// uniform naming scheme: MNEMONIC_<OPTOKEN>[_<OPTOKEN>...], where operand
+// tokens are R8/R16/R32/R64, M<width>, I<width>, XMM, YMM, MM.
+type Builder struct {
+	entries []*Entry
+	seen    map[string]bool
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{seen: make(map[string]bool)}
+}
+
+// Entries returns the accumulated entries.
+func (b *Builder) Entries() []*Entry { return b.entries }
+
+// add registers the entry, deriving its variant name from the mnemonic and
+// explicit operand tokens if the name is empty. Duplicate names panic: the
+// generator is static data, so a duplicate is a programming error.
+func (b *Builder) add(e *Entry) *Entry {
+	if e.Name == "" {
+		e.Name = variantName(e.Mnemonic, e.Operands, e.Attrs)
+	}
+	if b.seen[e.Name] {
+		panic(fmt.Sprintf("xedspec: duplicate generated variant %q", e.Name))
+	}
+	b.seen[e.Name] = true
+	b.entries = append(b.entries, e)
+	return e
+}
+
+// variantName derives the canonical variant name from a mnemonic and its
+// explicit operands.
+func variantName(mnemonic string, ops []EntryOperand, attrs []string) string {
+	name := strings.ReplaceAll(mnemonic, " ", "_")
+	for _, a := range attrs {
+		if a == AttrLock {
+			name = "LOCK_" + name
+		}
+		if a == AttrRep {
+			name = "REP_" + name
+		}
+	}
+	for _, op := range ops {
+		if op.Implicit {
+			continue
+		}
+		name += "_" + opToken(op)
+	}
+	return name
+}
+
+// opToken renders the operand-type token used in variant names.
+func opToken(op EntryOperand) string {
+	switch op.Kind {
+	case "REG":
+		switch op.Class {
+		case "GPR8":
+			return "R8"
+		case "GPR16":
+			return "R16"
+		case "GPR32":
+			return "R32"
+		case "GPR64":
+			return "R64"
+		case "XMM":
+			return "XMM"
+		case "YMM":
+			return "YMM"
+		case "ZMM":
+			return "ZMM"
+		case "MMX":
+			return "MM"
+		}
+		return "R?"
+	case "MEM":
+		return fmt.Sprintf("M%d", op.Width)
+	case "IMM":
+		return fmt.Sprintf("I%d", op.Width)
+	case "FLAGS":
+		return "FLAGS"
+	}
+	return "?"
+}
+
+// Operand construction helpers (datafile level).
+
+func reg(class string, read, write bool) EntryOperand {
+	return EntryOperand{Kind: "REG", Class: class, Width: classWidth(class), Read: read, Write: write}
+}
+
+func mem(width int, read, write bool) EntryOperand {
+	return EntryOperand{Kind: "MEM", Width: width, Read: read, Write: write}
+}
+
+func imm(width int) EntryOperand {
+	return EntryOperand{Kind: "IMM", Width: width, Read: true}
+}
+
+func flags(readSet, writeSet string) EntryOperand {
+	return EntryOperand{
+		Name: "FLAGS", Kind: "FLAGS", Width: 32,
+		Read: readSet != "" && readSet != "-", Write: writeSet != "" && writeSet != "-",
+		Implicit: true, ReadFlags: readSet, WriteFlags: writeSet,
+	}
+}
+
+func impReg(regName, class string, read, write bool) EntryOperand {
+	return EntryOperand{
+		Kind: "REG", Class: class, Width: classWidth(class),
+		Read: read, Write: write, Implicit: true, FixedReg: regName, Name: regName,
+	}
+}
+
+func classWidth(class string) int {
+	switch class {
+	case "GPR8":
+		return 8
+	case "GPR16":
+		return 16
+	case "GPR32":
+		return 32
+	case "GPR64":
+		return 64
+	case "XMM":
+		return 128
+	case "YMM":
+		return 256
+	case "ZMM":
+		return 512
+	case "MMX":
+		return 64
+	case "FLAGS":
+		return 32
+	}
+	return 0
+}
+
+// gprClass maps a width in bits to the general-purpose register class name.
+func gprClass(width int) string {
+	switch width {
+	case 8:
+		return "GPR8"
+	case 16:
+		return "GPR16"
+	case 32:
+		return "GPR32"
+	case 64:
+		return "GPR64"
+	}
+	panic(fmt.Sprintf("xedspec: no GPR class of width %d", width))
+}
+
+// instr emits a single variant. Operand names op1, op2, ... are assigned to
+// the explicit operands in order; implicit operands keep their own names.
+func (b *Builder) instr(mnemonic, ext, domain string, attrs []string, ops ...EntryOperand) *Entry {
+	e := &Entry{Mnemonic: mnemonic, Extension: ext, Domain: domain, Attrs: attrs}
+	expl := 0
+	for _, op := range ops {
+		if !op.Implicit {
+			expl++
+			op.Name = fmt.Sprintf("op%d", expl)
+		} else if op.Name == "" {
+			op.Name = op.FixedReg
+		}
+		e.Operands = append(e.Operands, op)
+	}
+	return b.add(e)
+}
+
+// attrs is a small helper to build attribute lists.
+func attrs(names ...string) []string { return names }
+
+// Flag-set shorthands used across the generator tables. "CPAZSO" is the full
+// status-flag set; shifts and rotates read the flags they conditionally
+// preserve, which creates the implicit input dependency the paper discusses.
+const (
+	flagsAll   = "CF+PF+AF+ZF+SF+OF"
+	flagsNoAF  = "CF+PF+ZF+SF+OF"
+	flagsNoCF  = "PF+AF+ZF+SF+OF"
+	flagsCF    = "CF"
+	flagsCFOF  = "CF+OF"
+	flagsZF    = "ZF"
+	flagsNone  = "-"
+	flagsCarry = "CF"
+)

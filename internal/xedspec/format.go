@@ -1,0 +1,342 @@
+// Package xedspec provides a compact, XED-configuration-like text description
+// of the x86-64 instruction set, a parser for it, and a programmatic
+// generator that produces the full set of instruction variants used by the
+// characterization tool.
+//
+// The paper extracts its instruction information from the configuration files
+// of Intel's X86 Encoder Decoder (XED) and converts it into a simplified XML
+// representation (Section 6.1). This package plays the role of those
+// configuration files: the generator emits "datafiles" in a concise text
+// format, and the parser converts them into the isa.Set model (which can then
+// be serialized to XML by the isa package).
+package xedspec
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"uopsinfo/internal/isa"
+)
+
+// Entry is the datafile-level description of one instruction variant. It
+// mirrors isa.Instr but stays at the text level: register classes, flag sets
+// and attributes are plain strings as they appear in the datafile.
+type Entry struct {
+	Name      string
+	Mnemonic  string
+	Extension string
+	Domain    string
+	Attrs     []string // e.g. "system", "serializing", "divider", "zero-idiom"
+	Operands  []EntryOperand
+}
+
+// EntryOperand is the datafile-level description of one operand.
+type EntryOperand struct {
+	Name       string
+	Kind       string // REG, MEM, IMM, FLAGS
+	Class      string // register class name for REG operands
+	Width      int
+	Read       bool
+	Write      bool
+	Implicit   bool
+	FixedReg   string
+	ReadFlags  string
+	WriteFlags string
+}
+
+// Attribute names understood by the converter.
+const (
+	AttrSystem      = "system"
+	AttrSerializing = "serializing"
+	AttrControlFlow = "control-flow"
+	AttrDivider     = "divider"
+	AttrNOP         = "nop"
+	AttrZeroIdiom   = "zero-idiom"
+	AttrMoveElim    = "move-elim"
+	AttrLock        = "lock"
+	AttrRep         = "rep"
+)
+
+// HasAttr reports whether the entry carries the named attribute.
+func (e *Entry) HasAttr(name string) bool {
+	for _, a := range e.Attrs {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Format renders the entry in datafile syntax.
+func (e *Entry) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "INSTR %s\n", e.Name)
+	fmt.Fprintf(&b, "  asm: %s\n", e.Mnemonic)
+	fmt.Fprintf(&b, "  ext: %s\n", e.Extension)
+	fmt.Fprintf(&b, "  domain: %s\n", e.Domain)
+	if len(e.Attrs) > 0 {
+		fmt.Fprintf(&b, "  attrs: %s\n", strings.Join(e.Attrs, " "))
+	}
+	for _, op := range e.Operands {
+		fmt.Fprintf(&b, "  op %s\n", op.format())
+	}
+	b.WriteString("END\n")
+	return b.String()
+}
+
+func (o EntryOperand) format() string {
+	fields := []string{o.Name, o.Kind}
+	if o.Class != "" {
+		fields = append(fields, "class="+o.Class)
+	}
+	fields = append(fields, fmt.Sprintf("width=%d", o.Width))
+	rw := ""
+	if o.Read {
+		rw += "r"
+	}
+	if o.Write {
+		rw += "w"
+	}
+	if rw == "" {
+		rw = "-"
+	}
+	fields = append(fields, "access="+rw)
+	if o.Implicit {
+		fields = append(fields, "implicit")
+	}
+	if o.FixedReg != "" {
+		fields = append(fields, "reg="+o.FixedReg)
+	}
+	if o.Kind == "FLAGS" {
+		fields = append(fields, "flagsR="+emptyDash(o.ReadFlags), "flagsW="+emptyDash(o.WriteFlags))
+	}
+	return strings.Join(fields, " ")
+}
+
+func emptyDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// FormatDatafile renders a list of entries as one datafile, sorted by variant
+// name for reproducible output.
+func FormatDatafile(entries []*Entry) string {
+	sorted := make([]*Entry, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	var b strings.Builder
+	b.WriteString("# x86-64 instruction datafile (generated)\n")
+	b.WriteString("# format: INSTR <variant> / asm / ext / domain / attrs / op ... / END\n\n")
+	for _, e := range sorted {
+		b.WriteString(e.Format())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ParseError describes a datafile syntax error.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("xedspec: line %d: %s", e.Line, e.Msg)
+}
+
+// ParseDatafile parses the datafile format produced by FormatDatafile.
+func ParseDatafile(text string) ([]*Entry, error) {
+	var entries []*Entry
+	var cur *Entry
+	scanner := bufio.NewScanner(strings.NewReader(text))
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "INSTR "):
+			if cur != nil {
+				return nil, &ParseError{lineNo, "INSTR inside unterminated INSTR block"}
+			}
+			cur = &Entry{Name: strings.TrimSpace(strings.TrimPrefix(line, "INSTR "))}
+		case line == "END":
+			if cur == nil {
+				return nil, &ParseError{lineNo, "END without INSTR"}
+			}
+			entries = append(entries, cur)
+			cur = nil
+		case cur == nil:
+			return nil, &ParseError{lineNo, fmt.Sprintf("unexpected line outside INSTR block: %q", line)}
+		case strings.HasPrefix(line, "asm:"):
+			cur.Mnemonic = strings.TrimSpace(strings.TrimPrefix(line, "asm:"))
+		case strings.HasPrefix(line, "ext:"):
+			cur.Extension = strings.TrimSpace(strings.TrimPrefix(line, "ext:"))
+		case strings.HasPrefix(line, "domain:"):
+			cur.Domain = strings.TrimSpace(strings.TrimPrefix(line, "domain:"))
+		case strings.HasPrefix(line, "attrs:"):
+			cur.Attrs = strings.Fields(strings.TrimPrefix(line, "attrs:"))
+		case strings.HasPrefix(line, "op "):
+			op, err := parseOperandLine(strings.TrimPrefix(line, "op "))
+			if err != nil {
+				return nil, &ParseError{lineNo, err.Error()}
+			}
+			cur.Operands = append(cur.Operands, op)
+		default:
+			return nil, &ParseError{lineNo, fmt.Sprintf("unrecognized line: %q", line)}
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("xedspec: reading datafile: %w", err)
+	}
+	if cur != nil {
+		return nil, &ParseError{lineNo, fmt.Sprintf("unterminated INSTR block %q", cur.Name)}
+	}
+	return entries, nil
+}
+
+func parseOperandLine(s string) (EntryOperand, error) {
+	fields := strings.Fields(s)
+	if len(fields) < 2 {
+		return EntryOperand{}, fmt.Errorf("operand line needs at least name and kind: %q", s)
+	}
+	op := EntryOperand{Name: fields[0], Kind: fields[1]}
+	for _, f := range fields[2:] {
+		switch {
+		case f == "implicit":
+			op.Implicit = true
+		case strings.HasPrefix(f, "class="):
+			op.Class = strings.TrimPrefix(f, "class=")
+		case strings.HasPrefix(f, "width="):
+			w, err := strconv.Atoi(strings.TrimPrefix(f, "width="))
+			if err != nil {
+				return EntryOperand{}, fmt.Errorf("bad width in %q: %v", f, err)
+			}
+			op.Width = w
+		case strings.HasPrefix(f, "access="):
+			acc := strings.TrimPrefix(f, "access=")
+			op.Read = strings.Contains(acc, "r")
+			op.Write = strings.Contains(acc, "w")
+		case strings.HasPrefix(f, "reg="):
+			op.FixedReg = strings.TrimPrefix(f, "reg=")
+		case strings.HasPrefix(f, "flagsR="):
+			op.ReadFlags = strings.TrimPrefix(f, "flagsR=")
+		case strings.HasPrefix(f, "flagsW="):
+			op.WriteFlags = strings.TrimPrefix(f, "flagsW=")
+		default:
+			return EntryOperand{}, fmt.Errorf("unrecognized operand field %q", f)
+		}
+	}
+	return op, nil
+}
+
+// ToISA converts datafile entries into the machine-readable isa.Set model.
+func ToISA(entries []*Entry) (*isa.Set, error) {
+	instrs := make([]*isa.Instr, 0, len(entries))
+	for _, e := range entries {
+		in := &isa.Instr{
+			Name:          e.Name,
+			Mnemonic:      e.Mnemonic,
+			Extension:     isa.Extension(e.Extension),
+			Domain:        isa.ParseDomain(e.Domain),
+			IsSystem:      e.HasAttr(AttrSystem),
+			IsSerializing: e.HasAttr(AttrSerializing),
+			ControlFlow:   e.HasAttr(AttrControlFlow),
+			UsesDivider:   e.HasAttr(AttrDivider),
+			IsNOP:         e.HasAttr(AttrNOP),
+			MayZeroIdiom:  e.HasAttr(AttrZeroIdiom),
+			MayMoveElim:   e.HasAttr(AttrMoveElim),
+			HasLock:       e.HasAttr(AttrLock),
+			HasRep:        e.HasAttr(AttrRep),
+		}
+		for _, eo := range e.Operands {
+			op := isa.Operand{
+				Name:     eo.Name,
+				Kind:     isa.ParseOperandKind(eo.Kind),
+				Class:    isa.ParseRegClass(eo.Class),
+				Width:    eo.Width,
+				Read:     eo.Read,
+				Write:    eo.Write,
+				Implicit: eo.Implicit,
+			}
+			if op.Kind == isa.OpNone {
+				return nil, fmt.Errorf("xedspec: %s: unknown operand kind %q", e.Name, eo.Kind)
+			}
+			if eo.FixedReg != "" {
+				op.FixedReg = isa.ParseReg(eo.FixedReg)
+				if op.FixedReg == isa.RegNone {
+					return nil, fmt.Errorf("xedspec: %s: unknown fixed register %q", e.Name, eo.FixedReg)
+				}
+			}
+			if op.Kind == isa.OpFlags {
+				op.ReadFlags = isa.ParseFlagSet(eo.ReadFlags)
+				op.WriteFlags = isa.ParseFlagSet(eo.WriteFlags)
+				op.Read = !op.ReadFlags.Empty()
+				op.Write = !op.WriteFlags.Empty()
+				op.Class = isa.ClassFlags
+			}
+			in.Operands = append(in.Operands, op)
+		}
+		instrs = append(instrs, in)
+	}
+	return isa.NewSet(instrs)
+}
+
+// FromISA converts an isa.Set back into datafile entries (the inverse of
+// ToISA), useful for regenerating datafiles from a modified model.
+func FromISA(set *isa.Set) []*Entry {
+	var entries []*Entry
+	for _, in := range set.Instrs() {
+		e := &Entry{
+			Name:      in.Name,
+			Mnemonic:  in.Mnemonic,
+			Extension: string(in.Extension),
+			Domain:    in.Domain.String(),
+		}
+		addAttr := func(cond bool, name string) {
+			if cond {
+				e.Attrs = append(e.Attrs, name)
+			}
+		}
+		addAttr(in.IsSystem, AttrSystem)
+		addAttr(in.IsSerializing, AttrSerializing)
+		addAttr(in.ControlFlow, AttrControlFlow)
+		addAttr(in.UsesDivider, AttrDivider)
+		addAttr(in.IsNOP, AttrNOP)
+		addAttr(in.MayZeroIdiom, AttrZeroIdiom)
+		addAttr(in.MayMoveElim, AttrMoveElim)
+		addAttr(in.HasLock, AttrLock)
+		addAttr(in.HasRep, AttrRep)
+		for _, op := range in.Operands {
+			eo := EntryOperand{
+				Name:     op.Name,
+				Kind:     op.Kind.String(),
+				Width:    op.Width,
+				Read:     op.Read,
+				Write:    op.Write,
+				Implicit: op.Implicit,
+			}
+			if op.Class != isa.ClassNone && op.Kind == isa.OpReg {
+				eo.Class = op.Class.String()
+			}
+			if op.FixedReg != isa.RegNone {
+				eo.FixedReg = op.FixedReg.String()
+			}
+			if op.Kind == isa.OpFlags {
+				eo.ReadFlags = op.ReadFlags.String()
+				eo.WriteFlags = op.WriteFlags.String()
+			}
+			e.Operands = append(e.Operands, eo)
+		}
+		entries = append(entries, e)
+	}
+	return entries
+}

@@ -1,0 +1,48 @@
+package xedspec
+
+import (
+	"sync"
+
+	"uopsinfo/internal/isa"
+)
+
+// Generate produces the datafile entries for the complete instruction set
+// (all extensions). Per-microarchitecture instruction sets are obtained by
+// filtering on the extensions a generation supports (see the uarch package).
+func Generate() []*Entry {
+	b := NewBuilder()
+	genBase(b)
+	genVector(b)
+	return b.Entries()
+}
+
+var (
+	fullSetOnce sync.Once
+	fullSet     *isa.Set
+	fullSetErr  error
+)
+
+// FullISA returns the complete instruction set as an isa.Set. The result is
+// built once and cached; the returned set must be treated as read-only.
+func FullISA() (*isa.Set, error) {
+	fullSetOnce.Do(func() {
+		fullSet, fullSetErr = ToISA(Generate())
+	})
+	return fullSet, fullSetErr
+}
+
+// MustFullISA is like FullISA but panics on error. The instruction set is
+// static data, so an error is a programming bug.
+func MustFullISA() *isa.Set {
+	set, err := FullISA()
+	if err != nil {
+		panic(err)
+	}
+	return set
+}
+
+// Datafile renders the complete generated instruction set in the datafile
+// text format. The output round-trips through ParseDatafile.
+func Datafile() string {
+	return FormatDatafile(Generate())
+}

@@ -1,0 +1,212 @@
+package xedspec
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"uopsinfo/internal/isa"
+)
+
+func TestGenerateProducesLargeSet(t *testing.T) {
+	entries := Generate()
+	if len(entries) < 1500 {
+		t.Fatalf("generated only %d variants, expected well over 1500", len(entries))
+	}
+	seen := make(map[string]bool)
+	for _, e := range entries {
+		if e.Name == "" || e.Mnemonic == "" || e.Extension == "" {
+			t.Fatalf("incomplete entry: %+v", e)
+		}
+		if seen[e.Name] {
+			t.Fatalf("duplicate variant name %s", e.Name)
+		}
+		seen[e.Name] = true
+	}
+}
+
+func TestGenerateContainsPaperCaseStudyVariants(t *testing.T) {
+	set := MustFullISA()
+	required := []string{
+		"AESDEC_XMM_XMM", "AESDEC_XMM_M128", "AESENC_XMM_XMM",
+		"SHLD_R64_R64_I8", "SHLD_R32_R32_I8",
+		"MOVQ2DQ_XMM_MM", "MOVDQ2Q_MM_XMM",
+		"PBLENDVB_XMM_XMM", "ADC_R64_R64", "SBB_R64_R64",
+		"BSWAP_R32", "BSWAP_R64", "CMC", "SAHF",
+		"VMINPS_XMM_XMM_XMM", "VHADDPD_XMM_XMM_XMM",
+		"PCMPGTB_XMM_XMM", "PCMPGTQ_XMM_XMM",
+		"MOVSX_R64_R16", "PSHUFD_XMM_XMM_I8", "MOVSHDUP_XMM_XMM",
+		"TEST_R64_R64", "XOR_R64_R64", "MOV_R64_M64", "MOV_M64_R64",
+		"DIV_R64", "IDIV_R32", "IMUL_R64_R64",
+	}
+	for _, name := range required {
+		if set.Lookup(name) == nil {
+			t.Errorf("required variant %s missing from the generated instruction set", name)
+		}
+	}
+}
+
+func TestGeneratedAttributesAreConsistent(t *testing.T) {
+	set := MustFullISA()
+	for _, in := range set.Instrs() {
+		// Zero idioms must have at least two explicit register operands of
+		// the same class.
+		if in.MayZeroIdiom {
+			regs := 0
+			for _, op := range in.ExplicitOperands() {
+				if op.Kind == isa.OpReg {
+					regs++
+				}
+			}
+			if regs < 2 {
+				t.Errorf("%s is marked as a zero idiom but has %d explicit register operands", in.Name, regs)
+			}
+		}
+		// Divider instructions must read something.
+		if in.UsesDivider && len(in.SourceOperands()) == 0 {
+			t.Errorf("%s uses the divider but has no source operands", in.Name)
+		}
+		// Every operand that is written must be a register, memory or flags
+		// operand (immediates cannot be destinations).
+		for _, op := range in.Operands {
+			if op.Kind == isa.OpImm && op.Write {
+				t.Errorf("%s has a written immediate operand", in.Name)
+			}
+		}
+		// Memory operands of LEA are neither read nor written; all other
+		// memory operands must be accessed.
+		for _, op := range in.Operands {
+			if op.Kind == isa.OpMem && in.Mnemonic != "LEA" && !op.Read && !op.Write {
+				t.Errorf("%s has a memory operand that is neither read nor written", in.Name)
+			}
+		}
+	}
+}
+
+func TestDatafileRoundTrip(t *testing.T) {
+	entries := Generate()
+	text := FormatDatafile(entries)
+	parsed, err := ParseDatafile(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(entries) {
+		t.Fatalf("round trip lost entries: %d != %d", len(parsed), len(entries))
+	}
+	// Compare via the ISA conversion (the canonical model).
+	orig, err := ToISA(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ToISA(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Len() != back.Len() {
+		t.Fatalf("ISA conversion count mismatch: %d != %d", orig.Len(), back.Len())
+	}
+	for _, in := range orig.Instrs() {
+		b := back.Lookup(in.Name)
+		if b == nil {
+			t.Errorf("variant %s missing after datafile round trip", in.Name)
+			continue
+		}
+		if b.Mnemonic != in.Mnemonic || b.Extension != in.Extension || len(b.Operands) != len(in.Operands) {
+			t.Errorf("variant %s differs after datafile round trip", in.Name)
+		}
+	}
+}
+
+func TestFromISARoundTrip(t *testing.T) {
+	set := MustFullISA()
+	entries := FromISA(set)
+	back, err := ToISA(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != set.Len() {
+		t.Fatalf("FromISA/ToISA round trip lost variants: %d != %d", back.Len(), set.Len())
+	}
+	for _, in := range set.Instrs() {
+		b := back.Lookup(in.Name)
+		if b == nil {
+			t.Fatalf("variant %s lost", in.Name)
+		}
+		if b.UsesDivider != in.UsesDivider || b.MayZeroIdiom != in.MayZeroIdiom ||
+			b.IsSystem != in.IsSystem || b.HasLock != in.HasLock || b.HasRep != in.HasRep {
+			t.Errorf("variant %s attributes differ after round trip", in.Name)
+		}
+	}
+}
+
+func TestParseDatafileErrors(t *testing.T) {
+	cases := []string{
+		"asm: ADD\n",                         // line outside INSTR block
+		"INSTR A\nINSTR B\nEND\n",            // nested INSTR
+		"END\n",                              // END without INSTR
+		"INSTR A\nasm: ADD\n",                // unterminated block
+		"INSTR A\n  op x\nEND\n",             // operand line too short
+		"INSTR A\n  op x REG width=z\nEND\n", // bad width
+		"INSTR A\n  weird line\nEND\n",       // unknown line
+	}
+	for _, text := range cases {
+		if _, err := ParseDatafile(text); err == nil {
+			t.Errorf("ParseDatafile accepted invalid input %q", text)
+		}
+	}
+}
+
+func TestVariantNamingConvention(t *testing.T) {
+	set := MustFullISA()
+	add := set.Lookup("ADD_R64_M64")
+	if add == nil {
+		t.Fatal("ADD_R64_M64 missing")
+	}
+	expl := add.ExplicitOperands()
+	if len(expl) != 2 || expl[0].Class != isa.ClassGPR64 || expl[1].Kind != isa.OpMem {
+		t.Errorf("ADD_R64_M64 has unexpected operand shape: %v", expl)
+	}
+	lockAdd := set.Lookup("LOCK_ADD_M64_R64")
+	if lockAdd == nil || !lockAdd.HasLock {
+		t.Error("LOCK_ADD_M64_R64 missing or not marked with the LOCK attribute")
+	}
+	repMovs := set.Lookup("REP_MOVSB")
+	if repMovs == nil || !repMovs.HasRep {
+		t.Error("REP_MOVSB missing or not marked with the REP attribute")
+	}
+}
+
+// Property: formatting and re-parsing a single entry preserves its operand
+// count, attributes and naming for a randomly selected subset of the
+// generated entries.
+func TestEntryFormatParseProperty(t *testing.T) {
+	entries := Generate()
+	f := func(idx uint16) bool {
+		e := entries[int(idx)%len(entries)]
+		parsed, err := ParseDatafile(e.Format())
+		if err != nil || len(parsed) != 1 {
+			return false
+		}
+		p := parsed[0]
+		if p.Name != e.Name || p.Mnemonic != e.Mnemonic || p.Extension != e.Extension {
+			return false
+		}
+		if len(p.Operands) != len(e.Operands) || len(p.Attrs) != len(e.Attrs) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDatafileHasHeaderComment(t *testing.T) {
+	text := Datafile()
+	if !strings.HasPrefix(text, "#") {
+		t.Error("datafile should start with a comment header")
+	}
+	if !strings.Contains(text, "INSTR ADD_R64_R64") {
+		t.Error("datafile should contain ADD_R64_R64")
+	}
+}

@@ -1,0 +1,148 @@
+// Package xmlout writes and reads the machine-readable XML result format of
+// the characterization tool (Section 6.4 of the paper): for every instruction
+// variant of every measured microarchitecture it records the µop count, the
+// port usage, the operand-pair latencies and the throughput, both as measured
+// on the (simulated) hardware and, where available, as reported by the IACA
+// models.
+package xmlout
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+
+	"uopsinfo/internal/core"
+	"uopsinfo/internal/iaca"
+)
+
+// Document is the root of the results file.
+type Document struct {
+	XMLName       xml.Name       `xml:"uopsInfo"`
+	Architectures []Architecture `xml:"architecture"`
+}
+
+// Architecture holds the results for one microarchitecture generation.
+type Architecture struct {
+	Name         string        `xml:"name,attr"`
+	Instructions []Instruction `xml:"instruction"`
+}
+
+// Instruction holds the results for one instruction variant.
+type Instruction struct {
+	Name     string    `xml:"name,attr"`
+	Mnemonic string    `xml:"asm,attr"`
+	Skipped  string    `xml:"skipped,attr,omitempty"`
+	Measured *Measured `xml:"measurement,omitempty"`
+	IACA     []IACAOut `xml:"iaca,omitempty"`
+}
+
+// Measured is the hardware-measurement part of an instruction's results.
+type Measured struct {
+	Uops       float64   `xml:"uops,attr"`
+	UopsIssued float64   `xml:"uopsIssued,attr"`
+	Ports      string    `xml:"ports,attr,omitempty"`
+	TPMeasured float64   `xml:"tpMeasured,attr,omitempty"`
+	TPComputed float64   `xml:"tpComputed,attr,omitempty"`
+	TPFast     float64   `xml:"tpFastValues,attr,omitempty"`
+	Latencies  []Latency `xml:"latency"`
+}
+
+// Latency is one operand-pair latency entry.
+type Latency struct {
+	Source     string  `xml:"startOp,attr"`
+	Dest       string  `xml:"targetOp,attr"`
+	Cycles     float64 `xml:"cycles,attr"`
+	UpperBound bool    `xml:"upperBound,attr,omitempty"`
+	SameReg    bool    `xml:"sameReg,attr,omitempty"`
+	FastValues float64 `xml:"cyclesFastValues,attr,omitempty"`
+	Notes      string  `xml:"notes,attr,omitempty"`
+}
+
+// IACAOut is the per-version IACA view of an instruction.
+type IACAOut struct {
+	Version string `xml:"version,attr"`
+	Uops    int    `xml:"uops,attr"`
+	Ports   string `xml:"ports,attr"`
+}
+
+// FromArchResult converts a characterization result into the XML document
+// model. iacaModels may be nil; otherwise each analyzer contributes a
+// per-version entry for every instruction it knows.
+func FromArchResult(res *core.ArchResult, iacaModels []*iaca.Analyzer) Architecture {
+	arch := Architecture{Name: res.Arch}
+	for _, name := range res.Names() {
+		r := res.Results[name]
+		inst := Instruction{Name: r.Name, Mnemonic: r.Mnemonic, Skipped: r.Skipped}
+		m := &Measured{
+			Uops:       r.Uops,
+			UopsIssued: r.UopsIssued,
+			Ports:      r.Ports.String(),
+			TPMeasured: r.Throughput.Measured,
+			TPComputed: r.Throughput.Computed,
+			TPFast:     r.Throughput.FastValueMeasured,
+		}
+		if len(r.Ports) == 0 {
+			m.Ports = ""
+		}
+		for _, p := range r.Latency.Pairs {
+			m.Latencies = append(m.Latencies, Latency{
+				Source:     p.SourceName,
+				Dest:       p.DestName,
+				Cycles:     p.Cycles,
+				UpperBound: p.UpperBound,
+				SameReg:    p.SameRegister,
+				FastValues: p.FastValueCycles,
+				Notes:      p.Notes,
+			})
+		}
+		inst.Measured = m
+		for _, a := range iacaModels {
+			if e, ok := a.Entry(name); ok {
+				inst.IACA = append(inst.IACA, IACAOut{
+					Version: string(a.Version()),
+					Uops:    e.Uops,
+					Ports:   e.UsageString(),
+				})
+			}
+		}
+		arch.Instructions = append(arch.Instructions, inst)
+	}
+	return arch
+}
+
+// Write serializes the document as indented XML.
+func Write(w io.Writer, doc *Document) error {
+	sort.Slice(doc.Architectures, func(i, j int) bool {
+		return doc.Architectures[i].Name < doc.Architectures[j].Name
+	})
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("xmlout: encoding results: %w", err)
+	}
+	return enc.Flush()
+}
+
+// Read parses a document produced by Write.
+func Read(r io.Reader) (*Document, error) {
+	var doc Document
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("xmlout: decoding results: %w", err)
+	}
+	return &doc, nil
+}
+
+// Lookup returns the instruction entry for a variant in an architecture, or
+// nil.
+func (a *Architecture) Lookup(name string) *Instruction {
+	for i := range a.Instructions {
+		if a.Instructions[i].Name == name {
+			return &a.Instructions[i]
+		}
+	}
+	return nil
+}
