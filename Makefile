@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet race bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# ci is the gate for every change: static checks plus the full test suite
+# under the race detector (the characterization scheduler is concurrent).
+ci: vet race

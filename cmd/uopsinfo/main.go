@@ -5,15 +5,26 @@
 //
 // Usage:
 //
-//	uopsinfo [-arch "Skylake"] [-out results.xml] [-sample 20] [-only ADD_R64_R64,IMUL_R64_R64] [-quick]
+//	uopsinfo [-arch "Skylake"] [-out results.xml] [-sample 20] [-only ADD_R64_R64,IMUL_R64_R64] [-quick] [-j 8]
+//
+// The -j flag sets the total number of parallel workers (default: the number
+// of CPUs). Architectures are characterized concurrently and, within each
+// architecture, the instruction variants are sharded across per-worker
+// simulator/harness stacks; the worker budget is split between the two
+// levels. The output XML is byte-identical regardless of -j: results are
+// merged deterministically and sorted before writing.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"uopsinfo/internal/core"
@@ -22,72 +33,149 @@ import (
 	"uopsinfo/internal/xmlout"
 )
 
+// errUsage signals that the flag package already printed the diagnostic and
+// usage text, so main only needs to set the exit status.
+var errUsage = errors.New("usage")
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("uopsinfo: ")
+	if err := run(os.Args[1:], os.Stdout, log.Default()); err != nil {
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
 
-	archName := flag.String("arch", "Skylake", `microarchitecture to characterize (e.g. "Skylake", "Sandy Bridge") or "all"`)
-	out := flag.String("out", "results.xml", "output XML file")
-	sample := flag.Int("sample", 25, "characterize every n-th instruction variant (1 = all, slower)")
-	only := flag.String("only", "", "comma-separated list of variant names to characterize (overrides -sample)")
-	quick := flag.Bool("quick", false, "skip the per-operand-pair latency measurements")
-	verbose := flag.Bool("v", false, "print progress")
-	flag.Parse()
+// config holds the parsed command-line options.
+type config struct {
+	archName string
+	out      string
+	sample   int
+	only     string
+	quick    bool
+	verbose  bool
+	jobs     int
+}
+
+// run parses the arguments and executes the characterization pipeline. It is
+// separated from main so the end-to-end tests can drive the full pipeline
+// without spawning a process.
+func run(args []string, stdout io.Writer, logger *log.Logger) error {
+	var cfg config
+	fs := flag.NewFlagSet("uopsinfo", flag.ContinueOnError)
+	fs.StringVar(&cfg.archName, "arch", "Skylake", `microarchitecture to characterize (e.g. "Skylake", "Sandy Bridge") or "all"`)
+	fs.StringVar(&cfg.out, "out", "results.xml", "output XML file")
+	fs.IntVar(&cfg.sample, "sample", 25, "characterize every n-th instruction variant (1 = all, slower)")
+	fs.StringVar(&cfg.only, "only", "", "comma-separated list of variant names to characterize (overrides -sample)")
+	fs.BoolVar(&cfg.quick, "quick", false, "skip the per-operand-pair latency measurements")
+	fs.BoolVar(&cfg.verbose, "v", false, "print progress")
+	fs.IntVar(&cfg.jobs, "j", runtime.NumCPU(), "total number of parallel workers (1 = fully sequential)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	if cfg.jobs < 1 {
+		cfg.jobs = 1
+	}
 
 	var archs []*uarch.Arch
-	if *archName == "all" {
+	if cfg.archName == "all" {
 		archs = uarch.All()
 	} else {
-		a, err := uarch.ByName(*archName)
+		a, err := uarch.ByName(cfg.archName)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		archs = []*uarch.Arch{a}
 	}
 
-	doc := &xmlout.Document{}
-	for _, arch := range archs {
-		start := time.Now()
-		c := core.NewForArch(arch)
-		opts := core.Options{SkipLatency: *quick}
-		if *only != "" {
-			opts.Only = strings.Split(*only, ",")
-		} else if *sample > 1 {
-			instrs := arch.InstrSet().Instrs()
-			for i := 0; i < len(instrs); i += *sample {
-				opts.Only = append(opts.Only, instrs[i].Name)
-			}
+	// Split the worker budget between the architecture level and the
+	// per-variant level so -j bounds the total parallelism. The division
+	// remainder is spread over the first architectures so the full budget is
+	// used (e.g. -j 8 over 5 architectures gives worker counts 2,2,2,1,1).
+	outer := cfg.jobs
+	if outer > len(archs) {
+		outer = len(archs)
+	}
+	inner := cfg.jobs / outer
+	extra := cfg.jobs % outer
+
+	// Results are stored by architecture index, so the document layout does
+	// not depend on completion order (xmlout.Write additionally sorts by
+	// name).
+	results := make([]xmlout.Architecture, len(archs))
+	errs := make([]error, len(archs))
+	sem := make(chan struct{}, outer)
+	var wg sync.WaitGroup
+	for i, arch := range archs {
+		workers := inner
+		if i < extra {
+			workers++
 		}
-		if *verbose {
-			opts.Progress = func(done, total int, name string) {
-				if done%50 == 0 || done == total {
-					log.Printf("%s: %d/%d (%s)", arch.Name(), done, total, name)
-				}
-			}
-		}
-		res, err := c.CharacterizeAll(opts)
-		if err != nil {
-			log.Fatalf("%s: %v", arch.Name(), err)
-		}
-		var analyzers []*iaca.Analyzer
-		for _, v := range iaca.SupportedVersions(arch.Gen()) {
-			a, err := iaca.New(v, arch)
-			if err != nil {
-				log.Fatal(err)
-			}
-			analyzers = append(analyzers, a)
-		}
-		doc.Architectures = append(doc.Architectures, xmlout.FromArchResult(res, analyzers))
-		log.Printf("%s: characterized %d variants in %v", arch.Name(), len(res.Results), time.Since(start).Round(time.Millisecond))
+		wg.Add(1)
+		go func(i int, arch *uarch.Arch, workers int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = characterizeArch(arch, cfg, workers, logger)
+		}(i, arch, workers)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return err
 	}
 
-	f, err := os.Create(*out)
+	doc := &xmlout.Document{Architectures: results}
+	f, err := os.Create(cfg.out)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer f.Close()
 	if err := xmlout.Write(f, doc); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Fprintf(stdout, "wrote %s\n", cfg.out)
+	return nil
+}
+
+// characterizeArch runs the characterization of one generation with the given
+// per-variant worker count and converts the result to the XML document model.
+func characterizeArch(arch *uarch.Arch, cfg config, workers int, logger *log.Logger) (xmlout.Architecture, error) {
+	start := time.Now()
+	c := core.NewForArch(arch)
+	opts := core.Options{SkipLatency: cfg.quick, Workers: workers}
+	if cfg.only != "" {
+		opts.Only = strings.Split(cfg.only, ",")
+	} else if cfg.sample > 1 {
+		instrs := arch.InstrSet().Instrs()
+		for i := 0; i < len(instrs); i += cfg.sample {
+			opts.Only = append(opts.Only, instrs[i].Name)
+		}
+	}
+	if cfg.verbose {
+		opts.Progress = func(done, total int, name string) {
+			if done%50 == 0 || done == total {
+				logger.Printf("%s: %d/%d (%s)", arch.Name(), done, total, name)
+			}
+		}
+	}
+	res, err := c.CharacterizeAll(opts)
+	if err != nil {
+		return xmlout.Architecture{}, fmt.Errorf("%s: %w", arch.Name(), err)
+	}
+	var analyzers []*iaca.Analyzer
+	for _, v := range iaca.SupportedVersions(arch.Gen()) {
+		a, err := iaca.New(v, arch)
+		if err != nil {
+			return xmlout.Architecture{}, err
+		}
+		analyzers = append(analyzers, a)
+	}
+	logger.Printf("%s: characterized %d variants in %v (%d workers)",
+		arch.Name(), len(res.Results), time.Since(start).Round(time.Millisecond), workers)
+	return xmlout.FromArchResult(res, analyzers), nil
 }

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"uopsinfo/internal/xmlout"
+)
+
+// runPipeline drives the full command pipeline (flag parsing,
+// characterization, XML writing) in-process and returns the bytes of the
+// written results file.
+func runPipeline(t *testing.T, args ...string) []byte {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "results.xml")
+	var stdout bytes.Buffer
+	logger := log.New(io.Discard, "", 0)
+	if err := run(append(args, "-out", out), &stdout, logger); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	if got, want := stdout.String(), "wrote "+out+"\n"; got != want {
+		t.Errorf("stdout = %q, want %q", got, want)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestEndToEndSmoke characterizes a small -only set, re-parses the written
+// XML and checks the variant counts and a known latency value (IMUL's
+// 3-cycle latency on Skylake).
+func TestEndToEndSmoke(t *testing.T) {
+	only := "ADD_R64_R64,IMUL_R64_R64,PXOR_XMM_XMM,MOV_R64_M64"
+	data := runPipeline(t, "-arch", "Skylake", "-only", only, "-j", "4")
+
+	doc, err := xmlout.Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Architectures) != 1 || doc.Architectures[0].Name != "Skylake" {
+		t.Fatalf("got architectures %+v, want exactly Skylake", doc.Architectures)
+	}
+	arch := &doc.Architectures[0]
+	if len(arch.Instructions) != 4 {
+		t.Fatalf("got %d instructions, want 4", len(arch.Instructions))
+	}
+	imul := arch.Lookup("IMUL_R64_R64")
+	if imul == nil || imul.Measured == nil {
+		t.Fatal("no measurement for IMUL_R64_R64")
+	}
+	found := false
+	for _, l := range imul.Measured.Latencies {
+		if l.Source == "op1" && l.Dest == "op1" && !l.SameReg {
+			found = true
+			if l.Cycles < 2.5 || l.Cycles > 3.5 {
+				t.Errorf("IMUL_R64_R64 op1->op1 latency = %.2f, want 3", l.Cycles)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("IMUL_R64_R64 has no op1->op1 latency entry: %+v", imul.Measured.Latencies)
+	}
+	if add := arch.Lookup("ADD_R64_R64"); add == nil || add.Measured == nil || add.Skipped != "" {
+		t.Errorf("ADD_R64_R64 not fully characterized: %+v", add)
+	}
+}
+
+// TestOutputByteIdenticalAcrossWorkerCounts is the command-level determinism
+// guarantee: -j N must produce byte-identical XML to -j 1. The variant set
+// deliberately includes a divider-based instruction (DIV_R64), whose
+// measurement switches the simulator's operand-value regime mid-run, and
+// memory operands, whose addresses come from the per-worker arena.
+func TestOutputByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	only := "ADD_R64_R64,IMUL_R64_R64,PXOR_XMM_XMM,MOV_R64_M64,MOV_M64_R64,DIV_R64,LEA_R64_M64,SHLD_R64_R64_I8"
+	base := runPipeline(t, "-arch", "Skylake", "-only", only, "-j", "1")
+	for _, j := range []string{"2", "5"} {
+		got := runPipeline(t, "-arch", "Skylake", "-only", only, "-j", j)
+		if !bytes.Equal(got, base) {
+			t.Errorf("-j %s output differs from -j 1 (%d vs %d bytes)", j, len(got), len(base))
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module uopsinfo
+
+go 1.21

@@ -19,6 +19,7 @@ func variant(t *testing.T, name string) *isa.Instr {
 }
 
 func TestNewInstValidation(t *testing.T) {
+	t.Parallel()
 	add := variant(t, "ADD_R64_R64")
 	if _, err := NewInst(add, RegOperand(isa.RAX)); err == nil {
 		t.Error("NewInst accepted a missing operand")
@@ -46,6 +47,7 @@ func TestNewInstValidation(t *testing.T) {
 }
 
 func TestIntelSyntaxPrinting(t *testing.T) {
+	t.Parallel()
 	add := variant(t, "ADD_R64_M64")
 	inst := MustInst(add, RegOperand(isa.RAX), MemOperand(isa.RBX, 0x1000))
 	if got := inst.String(); got != "ADD RAX, [RBX]" {
@@ -63,6 +65,7 @@ func TestIntelSyntaxPrinting(t *testing.T) {
 }
 
 func TestOperandForResolvesImplicitRegisters(t *testing.T) {
+	t.Parallel()
 	div := variant(t, "DIV_R64")
 	inst := MustInst(div, RegOperand(isa.RBX))
 	raxIdx := div.OperandIndex("RAX")
@@ -81,6 +84,7 @@ func TestOperandForResolvesImplicitRegisters(t *testing.T) {
 }
 
 func TestRegsUsedIncludesBasesAndImplicit(t *testing.T) {
+	t.Parallel()
 	add := variant(t, "ADD_R64_M64")
 	inst := MustInst(add, RegOperand(isa.RAX), MemOperand(isa.RBX, 0x1000))
 	used := inst.RegsUsed()
@@ -95,6 +99,7 @@ func TestRegsUsedIncludesBasesAndImplicit(t *testing.T) {
 }
 
 func TestSequenceHelpers(t *testing.T) {
+	t.Parallel()
 	add := variant(t, "ADD_R64_R64")
 	a := MustInst(add, RegOperand(isa.RAX), RegOperand(isa.RBX))
 	b := MustInst(add, RegOperand(isa.RCX), RegOperand(isa.RDX))
@@ -112,6 +117,7 @@ func TestSequenceHelpers(t *testing.T) {
 }
 
 func TestAllocatorFreshAndReserved(t *testing.T) {
+	t.Parallel()
 	alloc := NewAllocator(DefaultReserved...)
 	seen := make(map[isa.Reg]bool)
 	for i := 0; i < 12; i++ {
@@ -136,6 +142,7 @@ func TestAllocatorFreshAndReserved(t *testing.T) {
 }
 
 func TestAllocatorAvoidAndReuse(t *testing.T) {
+	t.Parallel()
 	alloc := NewAllocator()
 	r, err := alloc.Reuse(isa.ClassXMM, isa.XMM0)
 	if err != nil {
@@ -155,6 +162,7 @@ func TestAllocatorAvoidAndReuse(t *testing.T) {
 }
 
 func TestMemArenaDistinctAligned(t *testing.T) {
+	t.Parallel()
 	arena := NewMemArena()
 	a := arena.Alloc(8)
 	b := arena.Alloc(64)
@@ -175,6 +183,7 @@ func TestMemArenaDistinctAligned(t *testing.T) {
 // Property: Fresh never returns a reserved register and always returns a
 // register of the requested class, for any interleaving of requests.
 func TestAllocatorFreshProperty(t *testing.T) {
+	t.Parallel()
 	classes := []isa.RegClass{isa.ClassGPR64, isa.ClassGPR32, isa.ClassXMM, isa.ClassYMM, isa.ClassMMX}
 	f := func(picks []uint8) bool {
 		alloc := NewAllocator(DefaultReserved...)

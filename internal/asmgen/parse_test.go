@@ -9,6 +9,7 @@ import (
 )
 
 func TestParseSequenceBasic(t *testing.T) {
+	t.Parallel()
 	set := xedspec.MustFullISA()
 	text := `
 # a small loop kernel
@@ -58,6 +59,7 @@ CMC
 }
 
 func TestParseSequencePicksWidthByRegister(t *testing.T) {
+	t.Parallel()
 	set := xedspec.MustFullISA()
 	seq, err := ParseSequence(set, "ADD EAX, EBX\nADD AX, BX\nADD AL, BL")
 	if err != nil {
@@ -72,6 +74,7 @@ func TestParseSequencePicksWidthByRegister(t *testing.T) {
 }
 
 func TestParseSequenceErrors(t *testing.T) {
+	t.Parallel()
 	set := xedspec.MustFullISA()
 	cases := []string{
 		"FROBNICATE RAX, RBX", // unknown mnemonic
@@ -90,6 +93,7 @@ func TestParseSequenceErrors(t *testing.T) {
 }
 
 func TestParsedSequenceRunsOnSimulator(t *testing.T) {
+	t.Parallel()
 	set := xedspec.MustFullISA()
 	seq, err := ParseSequence(set, "MOV RAX, [RAX]\nMOV RAX, [RAX]")
 	if err != nil {

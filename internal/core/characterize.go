@@ -53,8 +53,20 @@ type Options struct {
 	SkipLatency    bool
 	SkipPortUsage  bool
 	SkipThroughput bool
-	// Progress, if non-nil, is called after each instruction.
+	// Progress, if non-nil, is called after each instruction. With multiple
+	// workers the callbacks are serialized and the done count remains
+	// monotonically increasing, but the variant completion order depends on
+	// scheduling.
 	Progress func(done, total int, name string)
+	// Workers is the number of parallel characterization workers. Each worker
+	// owns a complete simulator/harness/characterizer stack (the simulator is
+	// stateful, so the run is sharded rather than locked); the merged result
+	// is identical to a sequential run regardless of the worker count. 0 or 1
+	// runs sequentially on the calling Characterizer; negative values select
+	// DefaultWorkers(). Sharding requires a forkable runner (a
+	// *pipesim.Machine or a measure.RunnerForker); with any other runner the
+	// run silently falls back to the sequential path.
+	Workers int
 }
 
 // skipReason classifies instructions that are not fully characterized,
@@ -121,35 +133,23 @@ func (c *Characterizer) characterizeInstr(in *isa.Instr, opts Options) (*InstrRe
 
 // CharacterizeAll characterizes every instruction variant of the target
 // microarchitecture (or the subset named in opts.Only) and returns the
-// aggregated results.
+// aggregated results. With opts.Workers > 1 the variants are sharded across
+// that many independent characterization stacks (see scheduler.go); the
+// blocking-instruction set is discovered once and shared read-only.
 func (c *Characterizer) CharacterizeAll(opts Options) (*ArchResult, error) {
 	if err := c.ensureBlocking(); err != nil {
 		return nil, err
 	}
-	var instrs []*isa.Instr
-	if len(opts.Only) > 0 {
-		for _, name := range opts.Only {
-			in, err := c.gen.lookupVariant(name)
-			if err != nil {
-				return nil, err
-			}
-			instrs = append(instrs, in)
-		}
-	} else {
-		instrs = c.gen.set.Instrs()
+	instrs, err := c.resolveInstrs(opts)
+	if err != nil {
+		return nil, err
 	}
-	out := NewArchResult(c.gen.arch.Name())
-	for i, in := range instrs {
-		res, err := c.characterizeInstr(in, opts)
-		if err != nil {
-			// Record the failure instead of aborting the whole run; a single
-			// unmeasurable variant should not lose the rest.
-			res = &InstrResult{Name: in.Name, Mnemonic: in.Mnemonic, Skipped: "error: " + err.Error()}
-		}
-		out.Results[in.Name] = res
-		if opts.Progress != nil {
-			opts.Progress(i+1, len(instrs), in.Name)
-		}
+	workers := opts.Workers
+	if workers < 0 {
+		workers = DefaultWorkers()
 	}
-	return out, nil
+	if workers > 1 && len(instrs) > 1 {
+		return c.characterizeParallel(instrs, opts, workers)
+	}
+	return c.characterizeSequential(instrs, opts)
 }

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"uopsinfo/internal/isa"
+)
+
+// This file implements the sharded characterization scheduler. Every
+// instruction variant's measurement is independent of the others, but the
+// stack that performs it is stateful: the simulator's divider-value regime is
+// switched mid-measurement, the memory arena hands out addresses
+// monotonically, and the chain-latency cache fills as latencies are measured.
+// Sharding therefore gives each worker its own complete
+// simulator/harness/characterizer stack instead of locking a shared one; the
+// only state shared between workers is the blocking-instruction set, which is
+// discovered once up front and read-only afterwards.
+
+// Fork returns a Characterizer with its own independent simulator and
+// measurement harness, sharing only the target microarchitecture and the
+// already-discovered blocking-instruction set (which is read-only after
+// discovery). The fork can be used on another goroutine without
+// synchronization.
+func (c *Characterizer) Fork() (*Characterizer, error) {
+	h, err := c.gen.h.Fork()
+	if err != nil {
+		return nil, fmt.Errorf("core: forking characterizer: %w", err)
+	}
+	nc := New(h)
+	nc.blocking = c.blocking
+	// Chain-instruction latencies are deterministic calibration values, so
+	// the fork can start from the parent's cache instead of re-measuring
+	// them. Fork runs on the caller's goroutine before the fork is handed to
+	// a worker, so the copy is race-free.
+	for name, lat := range c.gen.chainLat {
+		nc.gen.chainLat[name] = lat
+	}
+	return nc, nil
+}
+
+// resolveInstrs returns the instruction variants selected by opts, in the
+// deterministic order they are characterized and reported in.
+func (c *Characterizer) resolveInstrs(opts Options) ([]*isa.Instr, error) {
+	if len(opts.Only) == 0 {
+		return c.gen.set.Instrs(), nil
+	}
+	instrs := make([]*isa.Instr, 0, len(opts.Only))
+	for _, name := range opts.Only {
+		in, err := c.gen.lookupVariant(name)
+		if err != nil {
+			return nil, err
+		}
+		instrs = append(instrs, in)
+	}
+	return instrs, nil
+}
+
+// characterizeOne characterizes a single variant, converting a measurement
+// error into a skipped result so that one unmeasurable variant does not lose
+// the rest of the run.
+func (c *Characterizer) characterizeOne(in *isa.Instr, opts Options) *InstrResult {
+	res, err := c.characterizeInstr(in, opts)
+	if err != nil {
+		res = &InstrResult{Name: in.Name, Mnemonic: in.Mnemonic, Skipped: "error: " + err.Error()}
+	}
+	return res
+}
+
+// progressSink serializes Options.Progress callbacks from concurrent workers:
+// the done count is monotonically increasing and each variant is reported
+// exactly once, matching the sequential contract.
+type progressSink struct {
+	mu    sync.Mutex
+	done  int
+	total int
+	fn    func(done, total int, name string)
+}
+
+func (p *progressSink) report(name string) {
+	if p.fn == nil {
+		return
+	}
+	p.mu.Lock()
+	p.done++
+	p.fn(p.done, p.total, name)
+	p.mu.Unlock()
+}
+
+// DefaultWorkers is the worker count used when Options.Workers is negative:
+// one worker per available CPU.
+func DefaultWorkers() int { return runtime.NumCPU() }
+
+// characterizeParallel shards the variants across workers independent
+// characterization stacks. Results are merged by variant index, so the output
+// is identical to a sequential run regardless of worker count or scheduling.
+func (c *Characterizer) characterizeParallel(instrs []*isa.Instr, opts Options, workers int) (*ArchResult, error) {
+	if workers > len(instrs) {
+		workers = len(instrs)
+	}
+	results := make([]*InstrResult, len(instrs))
+	sink := &progressSink{total: len(instrs), fn: opts.Progress}
+
+	// Fork the worker stacks up front. A runner that cannot be forked is not
+	// an error: the calling Characterizer can still do the whole run, so
+	// fall back to the sequential path (matching the Workers <= 1 contract).
+	forks := make([]*Characterizer, workers)
+	for i := range forks {
+		fc, err := c.Fork()
+		if err != nil {
+			return c.characterizeSequential(instrs, opts)
+		}
+		forks[i] = fc
+	}
+
+	var next int64
+	var wg sync.WaitGroup
+	for _, fc := range forks {
+		wg.Add(1)
+		go func(fc *Characterizer) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(instrs) {
+					return
+				}
+				results[i] = fc.characterizeOne(instrs[i], opts)
+				sink.report(instrs[i].Name)
+			}
+		}(fc)
+	}
+	wg.Wait()
+
+	out := NewArchResult(c.gen.arch.Name())
+	for i, in := range instrs {
+		out.Results[in.Name] = results[i]
+	}
+	return out, nil
+}
+
+// characterizeSequential runs the whole selection on the calling
+// Characterizer, preserving the seed behaviour (and supporting runners that
+// cannot be forked).
+func (c *Characterizer) characterizeSequential(instrs []*isa.Instr, opts Options) (*ArchResult, error) {
+	out := NewArchResult(c.gen.arch.Name())
+	for i, in := range instrs {
+		out.Results[in.Name] = c.characterizeOne(in, opts)
+		if opts.Progress != nil {
+			opts.Progress(i+1, len(instrs), in.Name)
+		}
+	}
+	return out, nil
+}

@@ -6,6 +6,7 @@ import (
 )
 
 func TestFlagSetBasics(t *testing.T) {
+	t.Parallel()
 	var s FlagSet
 	if !s.Empty() {
 		t.Error("zero FlagSet should be empty")
@@ -24,6 +25,7 @@ func TestFlagSetBasics(t *testing.T) {
 }
 
 func TestFlagSetAllAndNoAF(t *testing.T) {
+	t.Parallel()
 	if FlagSetAll.Count() != 6 {
 		t.Errorf("FlagSetAll should have 6 flags, got %d", FlagSetAll.Count())
 	}
@@ -36,6 +38,7 @@ func TestFlagSetAllAndNoAF(t *testing.T) {
 }
 
 func TestFlagSetStringAndParse(t *testing.T) {
+	t.Parallel()
 	cases := map[FlagSet]string{
 		FlagSetNone:                         "-",
 		FlagSetCF:                           "CF",
@@ -54,6 +57,7 @@ func TestFlagSetStringAndParse(t *testing.T) {
 }
 
 func TestFlagsListOrder(t *testing.T) {
+	t.Parallel()
 	s := FlagSetOF | FlagSetCF
 	flags := s.Flags()
 	if len(flags) != 2 || flags[0] != FlagCF || flags[1] != FlagOF {
@@ -63,6 +67,7 @@ func TestFlagsListOrder(t *testing.T) {
 
 // Property: String/ParseFlagSet round-trips for every possible flag set.
 func TestFlagSetRoundTripProperty(t *testing.T) {
+	t.Parallel()
 	f := func(raw uint8) bool {
 		s := FlagSet(raw) & FlagSetAll
 		return ParseFlagSet(s.String()) == s
@@ -75,6 +80,7 @@ func TestFlagSetRoundTripProperty(t *testing.T) {
 // Property: With/Without are inverse operations as long as the flag was not
 // already present/absent.
 func TestFlagSetWithWithoutProperty(t *testing.T) {
+	t.Parallel()
 	f := func(raw uint8, flagIdx uint8) bool {
 		s := FlagSet(raw) & FlagSetAll
 		fl := Flag(int(flagIdx) % int(NumFlags))

@@ -20,6 +20,7 @@ func sampleInstr() *Instr {
 }
 
 func TestInstrOperandQueries(t *testing.T) {
+	t.Parallel()
 	in := sampleInstr()
 	if got := len(in.ExplicitOperands()); got != 2 {
 		t.Errorf("ExplicitOperands = %d, want 2", got)
@@ -45,6 +46,7 @@ func TestInstrOperandQueries(t *testing.T) {
 }
 
 func TestInstrSignature(t *testing.T) {
+	t.Parallel()
 	in := sampleInstr()
 	sig := in.Signature()
 	if !strings.HasPrefix(sig, "ADD GPR64, M64") {
@@ -56,6 +58,7 @@ func TestInstrSignature(t *testing.T) {
 }
 
 func TestExtensionClassification(t *testing.T) {
+	t.Parallel()
 	if !ExtAVX.IsAVX() || !ExtFMA.IsAVX() || ExtSSE2.IsAVX() || ExtBase.IsAVX() {
 		t.Error("IsAVX misclassifies")
 	}
@@ -65,6 +68,7 @@ func TestExtensionClassification(t *testing.T) {
 }
 
 func TestSetLookupAndFilter(t *testing.T) {
+	t.Parallel()
 	a := sampleInstr()
 	b := &Instr{Name: "NOP", Mnemonic: "NOP", Extension: ExtBase, IsNOP: true}
 	c := &Instr{Name: "ADD_R32_R32", Mnemonic: "ADD", Extension: ExtBase,
@@ -97,6 +101,7 @@ func TestSetLookupAndFilter(t *testing.T) {
 }
 
 func TestNewSetRejectsDuplicatesAndEmptyNames(t *testing.T) {
+	t.Parallel()
 	a := sampleInstr()
 	dup := sampleInstr()
 	if _, err := NewSet([]*Instr{a, dup}); err == nil {
@@ -108,6 +113,7 @@ func TestNewSetRejectsDuplicatesAndEmptyNames(t *testing.T) {
 }
 
 func TestOperandConstructors(t *testing.T) {
+	t.Parallel()
 	r := RegOp("op1", ClassXMM, true, false)
 	if r.Kind != OpReg || r.Width != 128 || !r.Read || r.Write {
 		t.Errorf("RegOp built %+v", r)

@@ -6,6 +6,7 @@ import (
 )
 
 func TestRegClassWidths(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		class RegClass
 		width int
@@ -21,6 +22,7 @@ func TestRegClassWidths(t *testing.T) {
 }
 
 func TestRegClassPredicates(t *testing.T) {
+	t.Parallel()
 	if !ClassGPR32.IsGPR() || ClassXMM.IsGPR() {
 		t.Error("IsGPR misclassifies")
 	}
@@ -30,6 +32,7 @@ func TestRegClassPredicates(t *testing.T) {
 }
 
 func TestParseRegClassRoundTrip(t *testing.T) {
+	t.Parallel()
 	for _, c := range []RegClass{ClassGPR8, ClassGPR16, ClassGPR32, ClassGPR64, ClassXMM, ClassYMM, ClassZMM, ClassMMX, ClassFlags} {
 		if got := ParseRegClass(c.String()); got != c {
 			t.Errorf("ParseRegClass(%q) = %v, want %v", c.String(), got, c)
@@ -41,6 +44,7 @@ func TestParseRegClassRoundTrip(t *testing.T) {
 }
 
 func TestRegisterFamilies(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		reg, family Reg
 	}{
@@ -57,6 +61,7 @@ func TestRegisterFamilies(t *testing.T) {
 }
 
 func TestInFamily(t *testing.T) {
+	t.Parallel()
 	if got := RAX.InFamily(ClassGPR8); got != AL {
 		t.Errorf("RAX.InFamily(GPR8) = %s, want AL", got)
 	}
@@ -78,6 +83,7 @@ func TestInFamily(t *testing.T) {
 }
 
 func TestRegistersOfClassConsistency(t *testing.T) {
+	t.Parallel()
 	for _, class := range []RegClass{ClassGPR8, ClassGPR16, ClassGPR32, ClassGPR64, ClassXMM, ClassYMM, ClassMMX} {
 		regs := RegistersOfClass(class)
 		if len(regs) == 0 {
@@ -99,6 +105,7 @@ func TestRegistersOfClassConsistency(t *testing.T) {
 }
 
 func TestParseRegRoundTrip(t *testing.T) {
+	t.Parallel()
 	for r := Reg(1); r < Reg(NumRegs); r++ {
 		if got := ParseReg(r.String()); got != r {
 			t.Errorf("ParseReg(%q) = %v, want %v", r.String(), got, r)
@@ -114,6 +121,7 @@ func TestParseRegRoundTrip(t *testing.T) {
 // original register (for GPRs), and the family of the converted register is
 // the family of the original.
 func TestInFamilyPropertyGPR(t *testing.T) {
+	t.Parallel()
 	gprs := RegistersOfClass(ClassGPR64)
 	classes := []RegClass{ClassGPR8, ClassGPR16, ClassGPR32, ClassGPR64}
 	f := func(regIdx, classIdx uint8) bool {
@@ -133,6 +141,7 @@ func TestInFamilyPropertyGPR(t *testing.T) {
 // Property: the family of a register always belongs to the same storage as
 // the register itself (same family is idempotent).
 func TestFamilyIdempotentProperty(t *testing.T) {
+	t.Parallel()
 	f := func(raw uint16) bool {
 		r := Reg(int(raw) % NumRegs)
 		return r.Family().Family() == r.Family()

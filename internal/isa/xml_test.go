@@ -7,6 +7,7 @@ import (
 )
 
 func TestXMLRoundTrip(t *testing.T) {
+	t.Parallel()
 	instrs := []*Instr{
 		{
 			Name: "ADD_R64_R64", Mnemonic: "ADD", Extension: ExtBase, Domain: DomainInt,
@@ -85,6 +86,7 @@ func TestXMLRoundTrip(t *testing.T) {
 }
 
 func TestReadXMLRejectsGarbage(t *testing.T) {
+	t.Parallel()
 	if _, err := ReadXML(strings.NewReader("this is not xml")); err == nil {
 		t.Error("ReadXML accepted invalid input")
 	}

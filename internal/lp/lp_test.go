@@ -9,6 +9,7 @@ import (
 func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
 
 func TestMinMaxLoadKnownCases(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		name     string
 		groups   []PortGroup
@@ -41,6 +42,7 @@ func TestMinMaxLoadKnownCases(t *testing.T) {
 }
 
 func TestMinMaxLoadErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := MinMaxLoad([]PortGroup{{Ports: nil, Count: 1}}, 8); err == nil {
 		t.Error("accepted a group with no ports")
 	}
@@ -56,6 +58,7 @@ func TestMinMaxLoadErrors(t *testing.T) {
 }
 
 func TestMinMaxLoadLPAgreesWithCombinatorialSolver(t *testing.T) {
+	t.Parallel()
 	cases := [][]PortGroup{
 		{{Ports: []int{0, 1, 5, 6}, Count: 1}},
 		{{Ports: []int{0}, Count: 1}, {Ports: []int{0, 1, 5}, Count: 1}},
@@ -83,6 +86,7 @@ func TestMinMaxLoadLPAgreesWithCombinatorialSolver(t *testing.T) {
 // least totalUops/numPorts and at least the load forced onto any single
 // port.
 func TestSolversAgreeProperty(t *testing.T) {
+	t.Parallel()
 	type groupSpec struct {
 		Mask  uint8
 		Count uint8
@@ -134,6 +138,7 @@ func TestSolversAgreeProperty(t *testing.T) {
 }
 
 func TestScheduleRespectsOptimum(t *testing.T) {
+	t.Parallel()
 	groups := []PortGroup{
 		{Ports: []int{0}, Count: 1},
 		{Ports: []int{0, 1, 5}, Count: 1},
@@ -170,6 +175,7 @@ func TestScheduleRespectsOptimum(t *testing.T) {
 }
 
 func TestSimplexSimpleLP(t *testing.T) {
+	t.Parallel()
 	// minimize x + y subject to x + 2y >= 4, 3x + y >= 6, x,y >= 0.
 	// Optimum at x = 1.6, y = 1.2 with objective 2.8.
 	var p Problem
@@ -187,6 +193,7 @@ func TestSimplexSimpleLP(t *testing.T) {
 }
 
 func TestSimplexEqualityConstraints(t *testing.T) {
+	t.Parallel()
 	// minimize 2x + 3y subject to x + y == 10, x <= 4.
 	// Optimum: x = 4, y = 6, objective 26.
 	var p Problem
@@ -207,6 +214,7 @@ func TestSimplexEqualityConstraints(t *testing.T) {
 }
 
 func TestSimplexInfeasible(t *testing.T) {
+	t.Parallel()
 	// x <= 1 and x >= 2 is infeasible.
 	var p Problem
 	p.NumVars = 1
@@ -219,6 +227,7 @@ func TestSimplexInfeasible(t *testing.T) {
 }
 
 func TestSimplexUnbounded(t *testing.T) {
+	t.Parallel()
 	// maximize x (minimize -x) with only x >= 1: unbounded below for -x.
 	var p Problem
 	p.NumVars = 1
@@ -230,6 +239,7 @@ func TestSimplexUnbounded(t *testing.T) {
 }
 
 func TestSimplexNegativeRHS(t *testing.T) {
+	t.Parallel()
 	// minimize x subject to -x <= -3  (i.e. x >= 3).
 	var p Problem
 	p.NumVars = 1
@@ -245,6 +255,7 @@ func TestSimplexNegativeRHS(t *testing.T) {
 }
 
 func TestSimplexRejectsBadProblems(t *testing.T) {
+	t.Parallel()
 	var p Problem
 	if _, err := p.Solve(); err == nil {
 		t.Error("Solve accepted a problem with no variables")

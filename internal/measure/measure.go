@@ -84,6 +84,14 @@ func PaperConfig() Config {
 		OverheadCycles: 42, OverheadUops: 8}
 }
 
+// RunnerForker is implemented by runners that can create an independent copy
+// of themselves. Forked runners share no mutable state with their parent and
+// can therefore run on different goroutines without synchronization, which is
+// what the sharded characterization scheduler relies on.
+type RunnerForker interface {
+	ForkRunner() Runner
+}
+
 // Harness runs the measurement protocol on a Runner.
 type Harness struct {
 	runner Runner
@@ -116,6 +124,19 @@ func (h *Harness) Runner() Runner { return h.runner }
 
 // Config returns the harness configuration.
 func (h *Harness) Config() Config { return h.cfg }
+
+// Fork returns a Harness with the same configuration driving an independent
+// copy of the runner, for use on another goroutine. It fails if the runner
+// cannot be forked.
+func (h *Harness) Fork() (*Harness, error) {
+	switch r := h.runner.(type) {
+	case RunnerForker:
+		return NewWithConfig(r.ForkRunner(), h.cfg), nil
+	case *pipesim.Machine:
+		return NewWithConfig(r.Clone(), h.cfg), nil
+	}
+	return nil, fmt.Errorf("measure: runner %T cannot be forked", h.runner)
+}
 
 // Measure runs the protocol on the given code sequence and returns per-copy
 // averages: the counters for executing the sequence once, with harness

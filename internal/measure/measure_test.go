@@ -30,6 +30,7 @@ func addSequence(t *testing.T, arch *uarch.Arch, n int) asmgen.Sequence {
 }
 
 func TestMeasureRemovesOverhead(t *testing.T) {
+	t.Parallel()
 	// With a large modelled overhead, the copy-differencing protocol must
 	// still report the per-copy cost of the code itself.
 	h, arch := skylakeHarness(Config{ShortCopies: 2, LongCopies: 12, Repetitions: 3, Warmup: true,
@@ -57,6 +58,7 @@ func TestMeasureRemovesOverhead(t *testing.T) {
 }
 
 func TestMeasureLatencyChain(t *testing.T) {
+	t.Parallel()
 	h, arch := skylakeHarness(DefaultConfig())
 	imul := arch.InstrSet().Lookup("IMUL_R64_R64")
 	seq := asmgen.Sequence{asmgen.MustInst(imul, asmgen.RegOperand(isa.RAX), asmgen.RegOperand(isa.RAX))}
@@ -70,6 +72,7 @@ func TestMeasureLatencyChain(t *testing.T) {
 }
 
 func TestMeasureThroughputPerInstr(t *testing.T) {
+	t.Parallel()
 	h, arch := skylakeHarness(DefaultConfig())
 	seq := addSequence(t, arch, 8)
 	tp, err := h.MeasureThroughputPerInstr(seq)
@@ -82,6 +85,7 @@ func TestMeasureThroughputPerInstr(t *testing.T) {
 }
 
 func TestMeasureEmptySequence(t *testing.T) {
+	t.Parallel()
 	h, _ := skylakeHarness(DefaultConfig())
 	if _, err := h.Measure(nil); err == nil {
 		t.Error("Measure accepted an empty sequence")
@@ -92,6 +96,7 @@ func TestMeasureEmptySequence(t *testing.T) {
 }
 
 func TestConfigNormalization(t *testing.T) {
+	t.Parallel()
 	h, _ := skylakeHarness(Config{ShortCopies: -1, LongCopies: -5, Repetitions: 0})
 	cfg := h.Config()
 	if cfg.ShortCopies <= 0 || cfg.LongCopies <= cfg.ShortCopies || cfg.Repetitions <= 0 {
@@ -100,6 +105,7 @@ func TestConfigNormalization(t *testing.T) {
 }
 
 func TestPaperConfigMatchesProtocol(t *testing.T) {
+	t.Parallel()
 	cfg := PaperConfig()
 	if cfg.ShortCopies != 10 || cfg.LongCopies != 110 || cfg.Repetitions != 100 {
 		t.Errorf("PaperConfig = %+v, want n=10/110 and 100 repetitions", cfg)
@@ -107,6 +113,7 @@ func TestPaperConfigMatchesProtocol(t *testing.T) {
 }
 
 func TestResultUopsOnPorts(t *testing.T) {
+	t.Parallel()
 	r := Result{PortUops: []float64{1, 2, 0, 0, 3}}
 	if got := r.UopsOnPorts([]int{0, 4}); got != 4 {
 		t.Errorf("UopsOnPorts = %v, want 4", got)
@@ -117,6 +124,7 @@ func TestResultUopsOnPorts(t *testing.T) {
 }
 
 func TestHarnessExposesRunnerAndArch(t *testing.T) {
+	t.Parallel()
 	arch := uarch.Get(uarch.Haswell)
 	m := pipesim.New(arch)
 	h := New(m)
@@ -125,5 +133,78 @@ func TestHarnessExposesRunnerAndArch(t *testing.T) {
 	}
 	if h.Runner() != Runner(m) {
 		t.Error("Runner() does not return the wrapped runner")
+	}
+}
+
+// forkableFake is a Runner that counts its forks, to test the RunnerForker
+// path of Harness.Fork.
+type forkableFake struct {
+	*pipesim.Machine
+	forks *int
+}
+
+func (f forkableFake) ForkRunner() Runner {
+	*f.forks++
+	return forkableFake{Machine: f.Machine.Clone(), forks: f.forks}
+}
+
+// opaqueRunner is a Runner that cannot be forked.
+type opaqueRunner struct{ *pipesim.Machine }
+
+func TestHarnessFork(t *testing.T) {
+	t.Parallel()
+	h, arch := skylakeHarness(DefaultConfig())
+	f, err := h.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Runner() == h.Runner() {
+		t.Fatal("forked harness shares the runner")
+	}
+	if f.Config() != h.Config() {
+		t.Fatalf("forked config = %+v, want %+v", f.Config(), h.Config())
+	}
+	// Parent and fork must agree on the same measurement when run
+	// concurrently: the stacks share no mutable state.
+	seq := addSequence(t, arch, 8)
+	res := make([]Result, 2)
+	errs := make([]error, 2)
+	done := make(chan int, 2)
+	for i, hh := range []*Harness{h, f} {
+		go func(i int, hh *Harness) {
+			res[i], errs[i] = hh.Measure(seq)
+			done <- i
+		}(i, hh)
+	}
+	<-done
+	<-done
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("harness %d: %v", i, err)
+		}
+	}
+	if res[0].Cycles != res[1].Cycles || res[0].TotalUops != res[1].TotalUops {
+		t.Errorf("parent and fork disagree: %+v vs %+v", res[0], res[1])
+	}
+}
+
+func TestHarnessForkPrefersRunnerForker(t *testing.T) {
+	t.Parallel()
+	forks := 0
+	arch := uarch.Get(uarch.Skylake)
+	h := New(forkableFake{Machine: pipesim.New(arch), forks: &forks})
+	if _, err := h.Fork(); err != nil {
+		t.Fatal(err)
+	}
+	if forks != 1 {
+		t.Errorf("ForkRunner called %d times, want 1", forks)
+	}
+}
+
+func TestHarnessForkRejectsOpaqueRunner(t *testing.T) {
+	t.Parallel()
+	h := New(opaqueRunner{pipesim.New(uarch.Get(uarch.Skylake))})
+	if _, err := h.Fork(); err == nil {
+		t.Error("forking an unforkable runner should fail")
 	}
 }

@@ -15,6 +15,7 @@ import (
 // measured), and partial-register merges.
 
 func TestSSEAVXTransitionPenalty(t *testing.T) {
+	t.Parallel()
 	// On Sandy Bridge, executing a legacy SSE instruction while the upper
 	// halves of the YMM registers are dirty costs a large penalty; the same
 	// mix with a VZEROUPPER in between does not.
@@ -53,6 +54,7 @@ func TestSSEAVXTransitionPenalty(t *testing.T) {
 }
 
 func TestBypassDelayBetweenDomains(t *testing.T) {
+	t.Parallel()
 	// A chain alternating between a vector-integer producer and a
 	// floating-point consumer pays a bypass delay each hop, so it is slower
 	// than a pure integer chain of the same length.
@@ -83,6 +85,7 @@ func TestBypassDelayBetweenDomains(t *testing.T) {
 }
 
 func TestPartialRegisterMergeCreatesDependency(t *testing.T) {
+	t.Parallel()
 	// Writing an 8-bit register merges with the previous 64-bit contents, so
 	// a chain of "MOV AL, imm; ADD RAX, RBX" is serialized through RAX even
 	// though the MOV looks like a write-only operation.
@@ -111,6 +114,7 @@ func TestPartialRegisterMergeCreatesDependency(t *testing.T) {
 }
 
 func TestSchedulerSizeLimitsWindow(t *testing.T) {
+	t.Parallel()
 	// With a tiny scheduler, a long-latency instruction blocks issue and the
 	// independent work behind it cannot proceed, so the run takes longer
 	// than with the default scheduler size.
@@ -133,6 +137,7 @@ func TestSchedulerSizeLimitsWindow(t *testing.T) {
 }
 
 func TestCountersCloneAndSub(t *testing.T) {
+	t.Parallel()
 	a := Counters{Cycles: 10, PortUops: []int{1, 2, 3}, TotalUops: 6, IssuedUops: 7, ElimUops: 1}
 	b := Counters{Cycles: 4, PortUops: []int{1, 1, 1}, TotalUops: 3, IssuedUops: 3, ElimUops: 0}
 	diff := a.Sub(b)

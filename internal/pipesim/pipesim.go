@@ -119,6 +119,17 @@ func NewWithConfig(arch *uarch.Arch, cfg Config) *Machine {
 // Arch returns the microarchitecture the machine simulates.
 func (m *Machine) Arch() *uarch.Arch { return m.arch }
 
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Clone returns an independent Machine with the same microarchitecture and
+// configuration. The clone shares only the (internally synchronized) Arch;
+// mutable per-run state such as the divider-value regime is copied, so clones
+// can run on different goroutines without synchronization.
+func (m *Machine) Clone() *Machine {
+	return NewWithConfig(m.arch, m.cfg)
+}
+
 // SetDividerValues selects the operand-value regime for divider-based
 // instructions in subsequent runs.
 func (m *Machine) SetDividerValues(v DividerValues) { m.cfg.DividerValues = v }

@@ -36,6 +36,7 @@ func chainOf(t *testing.T, in *isa.Instr, reg isa.Reg, n int) asmgen.Sequence {
 }
 
 func TestDependentChainLatency(t *testing.T) {
+	t.Parallel()
 	arch, m := skylake(t)
 	movsx := lookup(t, arch, "MOVSX_R64_R16")
 	// MOVSX RAX, AX chained through the same register family: one cycle per
@@ -52,6 +53,7 @@ func TestDependentChainLatency(t *testing.T) {
 }
 
 func TestIndependentThroughputADD(t *testing.T) {
+	t.Parallel()
 	arch, m := skylake(t)
 	add := lookup(t, arch, "ADD_R64_R64")
 	regs := []isa.Reg{isa.RAX, isa.RBX, isa.RCX, isa.RDX, isa.RSI, isa.RDI, isa.R8, isa.R9}
@@ -76,6 +78,7 @@ func TestIndependentThroughputADD(t *testing.T) {
 }
 
 func TestPortThroughputLimitedByPortCount(t *testing.T) {
+	t.Parallel()
 	// On Nehalem the integer ALUs are on three ports, so a long stream of
 	// independent ADDs runs at about 1/3 cycles per instruction.
 	arch := uarch.Get(uarch.Nehalem)
@@ -95,6 +98,7 @@ func TestPortThroughputLimitedByPortCount(t *testing.T) {
 }
 
 func TestPointerChasingLoadLatency(t *testing.T) {
+	t.Parallel()
 	arch, m := skylake(t)
 	mov := lookup(t, arch, "MOV_R64_M64")
 	// MOV RAX, [RAX] chain: each load depends on the previous one through
@@ -113,6 +117,7 @@ func TestPointerChasingLoadLatency(t *testing.T) {
 }
 
 func TestZeroIdiomBreaksDependency(t *testing.T) {
+	t.Parallel()
 	arch, m := skylake(t)
 	imul := lookup(t, arch, "IMUL_R64_R64")
 	xor := lookup(t, arch, "XOR_R64_R64")
@@ -133,6 +138,7 @@ func TestZeroIdiomBreaksDependency(t *testing.T) {
 }
 
 func TestZeroIdiomEliminatedOnSkylake(t *testing.T) {
+	t.Parallel()
 	arch, m := skylake(t)
 	xor := lookup(t, arch, "XOR_R64_R64")
 	var seq asmgen.Sequence
@@ -149,6 +155,7 @@ func TestZeroIdiomEliminatedOnSkylake(t *testing.T) {
 }
 
 func TestZeroIdiomNotEliminatedOnNehalem(t *testing.T) {
+	t.Parallel()
 	arch := uarch.Get(uarch.Nehalem)
 	m := New(arch)
 	xor := lookup(t, arch, "XOR_R64_R64")
@@ -163,6 +170,7 @@ func TestZeroIdiomNotEliminatedOnNehalem(t *testing.T) {
 }
 
 func TestDividerNotPipelined(t *testing.T) {
+	t.Parallel()
 	arch, m := skylake(t)
 	div := lookup(t, arch, "DIV_R32")
 	// Independent divisions: destination registers are implicit (RAX/RDX),
@@ -180,6 +188,7 @@ func TestDividerNotPipelined(t *testing.T) {
 }
 
 func TestDividerFastValuesAreFaster(t *testing.T) {
+	t.Parallel()
 	arch := uarch.Get(uarch.Skylake)
 	div := lookup(t, arch, "DIV_R64")
 	var seq asmgen.Sequence
@@ -199,6 +208,7 @@ func TestDividerFastValuesAreFaster(t *testing.T) {
 }
 
 func TestMoveEliminationIndependentMoves(t *testing.T) {
+	t.Parallel()
 	arch, m := skylake(t)
 	mov := lookup(t, arch, "MOV_R64_R64")
 	// Independent MOVs (source never written in the sequence) are always
@@ -214,6 +224,7 @@ func TestMoveEliminationIndependentMoves(t *testing.T) {
 }
 
 func TestMoveEliminationPartialInDependentChain(t *testing.T) {
+	t.Parallel()
 	arch, m := skylake(t)
 	mov := lookup(t, arch, "MOV_R64_R64")
 	// A dependent MOV chain is only partially eliminated (about one third,
@@ -232,6 +243,7 @@ func TestMoveEliminationPartialInDependentChain(t *testing.T) {
 }
 
 func TestStoreLoadPair(t *testing.T) {
+	t.Parallel()
 	arch, m := skylake(t)
 	store := lookup(t, arch, "MOV_M64_R64")
 	load := lookup(t, arch, "MOV_R64_M64")
@@ -258,6 +270,7 @@ func TestStoreLoadPair(t *testing.T) {
 }
 
 func TestCountersPortTotalsConsistent(t *testing.T) {
+	t.Parallel()
 	arch, m := skylake(t)
 	add := lookup(t, arch, "ADD_R64_R64")
 	imul := lookup(t, arch, "IMUL_R64_R64")
@@ -280,6 +293,7 @@ func TestCountersPortTotalsConsistent(t *testing.T) {
 }
 
 func TestValidateRejectsUnsupportedInstruction(t *testing.T) {
+	t.Parallel()
 	nehalem := uarch.Get(uarch.Nehalem)
 	skl := uarch.Get(uarch.Skylake)
 	m := New(nehalem)
@@ -298,6 +312,7 @@ func TestValidateRejectsUnsupportedInstruction(t *testing.T) {
 }
 
 func TestAESDECOperandPairLatencies(t *testing.T) {
+	t.Parallel()
 	// Section 7.3.1: on Sandy Bridge, a chain through the first operand of
 	// AESDEC runs at 8 cycles per round, while a chain through the second
 	// operand (with the first operand's dependency broken each iteration)
@@ -330,5 +345,35 @@ func TestAESDECOperandPairLatencies(t *testing.T) {
 	}
 	if per2 > per1/2 {
 		t.Errorf("AESDEC with broken first-operand dependency should be much faster: %.2f vs %.2f", per2, per1)
+	}
+}
+
+func TestMachineCloneIsIndependent(t *testing.T) {
+	t.Parallel()
+	arch := uarch.Get(uarch.Skylake)
+	div := lookup(t, arch, "DIV_R64")
+	var seq asmgen.Sequence
+	for i := 0; i < 20; i++ {
+		seq = append(seq, asmgen.MustInst(div, asmgen.RegOperand(isa.RBX)))
+	}
+	m := NewWithConfig(arch, Config{SchedulerSize: 48})
+	clone := m.Clone()
+	if clone == m {
+		t.Fatal("Clone returned the same machine")
+	}
+	if clone.Config() != m.Config() {
+		t.Fatalf("clone config = %+v, want %+v", clone.Config(), m.Config())
+	}
+	// Switching the clone's divider-value regime must not leak into the
+	// parent: this is what lets forked measurement stacks run concurrently.
+	clone.SetDividerValues(FastDividerValues)
+	if m.Config().DividerValues != SlowDividerValues {
+		t.Fatal("clone's SetDividerValues mutated the parent machine")
+	}
+	cFast := clone.MustRun(seq)
+	cSlow := m.MustRun(seq)
+	if cFast.Cycles >= cSlow.Cycles {
+		t.Fatalf("clone in fast regime (%d cycles) should beat parent in slow regime (%d cycles)",
+			cFast.Cycles, cSlow.Cycles)
 	}
 }

@@ -1,0 +1,57 @@
+package xmlout
+
+import (
+	"bytes"
+	"testing"
+
+	"uopsinfo/internal/core"
+	"uopsinfo/internal/iaca"
+	"uopsinfo/internal/uarch"
+)
+
+// TestMarshalledXMLIdenticalAcrossWorkerCounts characterizes a sampled
+// variant set with 1, 2 and 8 workers and asserts that the marshalled XML
+// documents are byte-identical: the sharded scheduler must merge results
+// deterministically and the writer must order them deterministically.
+func TestMarshalledXMLIdenticalAcrossWorkerCounts(t *testing.T) {
+	arch := uarch.Get(uarch.Haswell)
+	instrs := arch.InstrSet().Instrs()
+	var only []string
+	for i := 0; i < len(instrs); i += 70 {
+		only = append(only, instrs[i].Name)
+	}
+	if len(only) < 10 {
+		t.Fatalf("sample too small: %d variants", len(only))
+	}
+
+	var analyzers []*iaca.Analyzer
+	for _, v := range iaca.SupportedVersions(arch.Gen()) {
+		a, err := iaca.New(v, arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		analyzers = append(analyzers, a)
+	}
+
+	marshal := func(workers int) []byte {
+		t.Helper()
+		c := core.NewForArch(arch)
+		res, err := c.CharacterizeAll(core.Options{Only: only, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		doc := &Document{Architectures: []Architecture{FromArchResult(res, analyzers)}}
+		var buf bytes.Buffer
+		if err := Write(&buf, doc); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return buf.Bytes()
+	}
+
+	base := marshal(1)
+	for _, workers := range []int{2, 8} {
+		if got := marshal(workers); !bytes.Equal(got, base) {
+			t.Errorf("workers=%d XML differs from workers=1 (%d vs %d bytes)", workers, len(got), len(base))
+		}
+	}
+}

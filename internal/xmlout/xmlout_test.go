@@ -38,6 +38,7 @@ func sampleResult() *core.ArchResult {
 }
 
 func TestXMLRoundTrip(t *testing.T) {
+	t.Parallel()
 	skl := uarch.Get(uarch.Skylake)
 	a30, err := iaca.New(iaca.V30, skl)
 	if err != nil {
@@ -88,6 +89,7 @@ func TestXMLRoundTrip(t *testing.T) {
 }
 
 func TestReadRejectsGarbage(t *testing.T) {
+	t.Parallel()
 	if _, err := Read(strings.NewReader("{json: true}")); err == nil {
 		t.Error("Read accepted non-XML input")
 	}
