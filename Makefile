@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench ci
+.PHONY: build test vet race bench bench-smoke fmt fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,20 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# ci is the gate for every change: static checks plus the full test suite
-# under the race detector (the characterization scheduler is concurrent).
-ci: vet race
+# bench-smoke runs every benchmark for a single iteration so they cannot
+# bit-rot without CI noticing; it reports no meaningful timings.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+fmt:
+	gofmt -l -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# ci is the gate for every change: formatting and static checks, the full
+# test suite under the race detector (the characterization scheduler and the
+# engine are concurrent), and a one-iteration pass over every benchmark.
+ci: fmt-check vet race bench-smoke

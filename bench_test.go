@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"uopsinfo/internal/core"
+	"uopsinfo/internal/engine"
 	"uopsinfo/internal/report"
 	"uopsinfo/internal/uarch"
 )
@@ -218,6 +219,82 @@ func BenchmarkCharacterizeAll(b *testing.B) {
 	for _, w := range workers {
 		b.Run(fmt.Sprintf("parallel-%d", w), bench(w))
 	}
+}
+
+// E13: sharded blocking-instruction discovery — the dominant sequential
+// fraction of a full run after E12 parallelized the per-variant phase. The
+// same Skylake discovery runs serially and with N workers; the discovered
+// set is identical for any worker count (see
+// TestBlockingDiscoveryWorkerInvariance), so this tracks pure scheduling
+// speedup.
+func BenchmarkBlockingDiscovery(b *testing.B) {
+	c := core.NewForArch(uarch.Get(uarch.Skylake))
+	bench := func(workers int) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bs, err := c.DiscoverBlocking(core.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(bs.SSE) == 0 || len(bs.AVX) == 0 {
+					b.Fatalf("discovery found %d SSE / %d AVX combinations", len(bs.SSE), len(bs.AVX))
+				}
+			}
+		}
+	}
+	b.Run("serial", bench(1))
+	workers := []int{2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		workers = append(workers, n)
+	}
+	for _, w := range workers {
+		b.Run(fmt.Sprintf("parallel-%d", w), bench(w))
+	}
+}
+
+// E14: the persistent result store — the same sampled Skylake run against a
+// cold store (full blocking discovery and characterization, then persist)
+// and a warm one (both served from the store), tracking the cross-run
+// speedup the cache buys the CLI tools.
+func BenchmarkCharacterizeCache(b *testing.B) {
+	arch := uarch.Get(uarch.Skylake)
+	instrs := arch.InstrSet().Instrs()
+	var only []string
+	for i := 0; i < len(instrs); i += 50 {
+		only = append(only, instrs[i].Name)
+	}
+	run := func(b *testing.B, dir string) {
+		eng, err := engine.New(engine.Config{Workers: 4, CacheDir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := eng.CharacterizeArch(uarch.Skylake, engine.RunOptions{Only: only})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Results) != len(only) {
+			b.Fatalf("got %d results, want %d", len(res.Results), len(only))
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir := b.TempDir()
+			b.StartTimer()
+			run(b, dir)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		dir := b.TempDir()
+		run(b, dir) // prime the store
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b, dir)
+		}
+	})
 }
 
 // E11: Section 7.1 — a (sampled) full characterization run on Skylake,

@@ -9,6 +9,12 @@
 //
 //	analyze -arch Skylake kernel.asm
 //	echo 'ADD RAX, RBX' | analyze -arch Haswell
+//
+// The measurement stack is built by the characterization engine, so analyze
+// shares the -j / -cache configuration surface of the other tools. A kernel
+// analysis is a single direct simulation, which the store does not cache
+// yet, so today the flags only configure the engine; they are accepted for
+// interface consistency and for when direct measurements become cacheable.
 package main
 
 import (
@@ -17,11 +23,11 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
 
 	"uopsinfo/internal/asmgen"
+	"uopsinfo/internal/engine"
 	"uopsinfo/internal/iaca"
-	"uopsinfo/internal/measure"
-	"uopsinfo/internal/pipesim"
 	"uopsinfo/internal/uarch"
 )
 
@@ -30,6 +36,8 @@ func main() {
 	log.SetPrefix("analyze: ")
 
 	archName := flag.String("arch", "Skylake", "microarchitecture generation")
+	jobs := flag.Int("j", runtime.NumCPU(), "total number of parallel workers")
+	cacheDir := flag.String("cache", "", "directory of the persistent result store")
 	flag.Parse()
 
 	arch, err := uarch.ByName(*archName)
@@ -62,7 +70,11 @@ func main() {
 			uarch.FormatPortUsage(perf.PortUsage()))
 	}
 
-	h := measure.New(pipesim.New(arch))
+	eng, err := engine.New(engine.Config{Workers: *jobs, CacheDir: *cacheDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := eng.Harness(arch.Gen())
 	res, err := h.Measure(seq)
 	if err != nil {
 		log.Fatal(err)

@@ -6,14 +6,21 @@
 //
 // Usage:
 //
-//	casestudies [-id 7.3.1]
+//	casestudies [-id 7.3.1] [-j 8] [-cache DIR]
+//
+// With -j > 1 the per-generation characterizers (whose
+// blocking-instruction discovery dominates the runtime) are built
+// concurrently by the characterization engine; -cache reuses blocking sets
+// across invocations.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 
+	"uopsinfo/internal/engine"
 	"uopsinfo/internal/report"
 )
 
@@ -22,9 +29,22 @@ func main() {
 	log.SetPrefix("casestudies: ")
 
 	id := flag.String("id", "", `run only the case study with this identifier (e.g. "7.3.1"); default: all`)
+	jobs := flag.Int("j", runtime.NumCPU(), "total number of parallel workers (1 = fully sequential)")
+	cacheDir := flag.String("cache", "", "directory of the persistent result store")
 	flag.Parse()
 
-	ctx := report.NewContext()
+	eng, err := engine.New(engine.Config{Workers: *jobs, CacheDir: *cacheDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := report.NewContextWith(eng)
+	if *jobs > 1 {
+		// All studies are built regardless of -id (the filter applies to the
+		// output), so warm every generation they measure on up front.
+		if err := ctx.Prewarm(report.CaseStudyGenerations()); err != nil {
+			log.Fatal(err)
+		}
+	}
 	studies, err := report.AllCaseStudies(ctx)
 	if err != nil {
 		log.Fatal(err)

@@ -5,14 +5,21 @@
 //
 // Usage:
 //
-//	iacadiff [-arch Skylake] [-sample 20]
+//	iacadiff [-arch Skylake] [-sample 20] [-j 8] [-cache DIR]
+//
+// With -j > 1 the characterizers for the chosen generation and for the
+// generations of the named discrepancy examples are prewarmed concurrently
+// by the characterization engine; -cache reuses blocking sets across
+// invocations.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 
+	"uopsinfo/internal/engine"
 	"uopsinfo/internal/iaca"
 	"uopsinfo/internal/report"
 	"uopsinfo/internal/uarch"
@@ -24,6 +31,8 @@ func main() {
 
 	archName := flag.String("arch", "Skylake", "microarchitecture generation")
 	sample := flag.Int("sample", 20, "compare every n-th eligible instruction variant (1 = all)")
+	jobs := flag.Int("j", runtime.NumCPU(), "total number of parallel workers (1 = fully sequential)")
+	cacheDir := flag.String("cache", "", "directory of the persistent result store")
 	flag.Parse()
 
 	arch, err := uarch.ByName(*archName)
@@ -36,14 +45,27 @@ func main() {
 	}
 	fmt.Printf("IACA versions supporting %s: %s\n\n", arch.Name(), iaca.DescribeVersions(arch.Gen()))
 
-	row, err := report.BuildTable1Row(arch, report.Table1Options{SampleEvery: *sample})
+	eng, err := engine.New(engine.Config{Workers: *jobs, CacheDir: *cacheDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := report.NewContextWith(eng)
+	if *jobs > 1 {
+		// The discrepancy study below always measures on Skylake, Haswell
+		// and Nehalem; warm those together with the chosen generation.
+		gens := []uarch.Generation{arch.Gen(), uarch.Skylake, uarch.Haswell, uarch.Nehalem}
+		if err := ctx.Prewarm(gens); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	row, err := report.BuildTable1Row(arch, report.Table1Options{SampleEvery: *sample, Context: ctx})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(report.FormatTable1([]report.Table1Row{row}))
 
 	fmt.Println("\nNamed discrepancies (Section 7.2):")
-	ctx := report.NewContext()
 	cs, err := report.IACADiscrepancyStudy(ctx)
 	if err != nil {
 		log.Fatal(err)

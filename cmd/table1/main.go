@@ -5,14 +5,20 @@
 //
 // Usage:
 //
-//	table1 [-sample 20] [-arch "Skylake"]
+//	table1 [-sample 20] [-arch "Skylake"] [-j 8] [-cache DIR]
+//
+// With -j > 1 the generations are compared concurrently on stacks built by
+// the characterization engine; -cache reuses blocking sets discovered by
+// earlier runs of any tool sharing the store.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 
+	"uopsinfo/internal/engine"
 	"uopsinfo/internal/report"
 	"uopsinfo/internal/uarch"
 )
@@ -24,9 +30,19 @@ func main() {
 	sample := flag.Int("sample", 20, "compare every n-th eligible instruction variant (1 = all, slower)")
 	archName := flag.String("arch", "", "restrict to one generation (default: all nine)")
 	verbose := flag.Bool("v", false, "print progress")
+	jobs := flag.Int("j", runtime.NumCPU(), "total number of parallel workers (1 = fully sequential)")
+	cacheDir := flag.String("cache", "", "directory of the persistent result store")
 	flag.Parse()
 
-	opts := report.Table1Options{SampleEvery: *sample}
+	eng, err := engine.New(engine.Config{Workers: *jobs, CacheDir: *cacheDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := report.Table1Options{
+		SampleEvery: *sample,
+		Context:     report.NewContextWith(eng),
+		Workers:     *jobs,
+	}
 	if *archName != "" {
 		a, err := uarch.ByName(*archName)
 		if err != nil {

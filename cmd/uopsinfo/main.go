@@ -5,14 +5,18 @@
 //
 // Usage:
 //
-//	uopsinfo [-arch "Skylake"] [-out results.xml] [-sample 20] [-only ADD_R64_R64,IMUL_R64_R64] [-quick] [-j 8]
+//	uopsinfo [-arch "Skylake"] [-out results.xml] [-sample 20] [-only ADD_R64_R64,IMUL_R64_R64] [-quick] [-j 8] [-cache DIR]
 //
 // The -j flag sets the total number of parallel workers (default: the number
 // of CPUs). Architectures are characterized concurrently and, within each
-// architecture, the instruction variants are sharded across per-worker
-// simulator/harness stacks; the worker budget is split between the two
-// levels. The output XML is byte-identical regardless of -j: results are
-// merged deterministically and sorted before writing.
+// architecture, blocking-instruction discovery and the instruction variants
+// are sharded across per-worker simulator/harness stacks; the worker budget
+// is split between the two levels. The -cache flag points at a persistent
+// result store: discovered blocking sets and characterization results are
+// reused across invocations, and corrupt or stale entries silently fall back
+// to recomputation. The output XML is byte-identical regardless of -j and of
+// cache state: results are merged deterministically and sorted before
+// writing.
 package main
 
 import (
@@ -27,7 +31,7 @@ import (
 	"sync"
 	"time"
 
-	"uopsinfo/internal/core"
+	"uopsinfo/internal/engine"
 	"uopsinfo/internal/iaca"
 	"uopsinfo/internal/uarch"
 	"uopsinfo/internal/xmlout"
@@ -57,6 +61,7 @@ type config struct {
 	quick    bool
 	verbose  bool
 	jobs     int
+	cache    string
 }
 
 // run parses the arguments and executes the characterization pipeline. It is
@@ -72,6 +77,7 @@ func run(args []string, stdout io.Writer, logger *log.Logger) error {
 	fs.BoolVar(&cfg.quick, "quick", false, "skip the per-operand-pair latency measurements")
 	fs.BoolVar(&cfg.verbose, "v", false, "print progress")
 	fs.IntVar(&cfg.jobs, "j", runtime.NumCPU(), "total number of parallel workers (1 = fully sequential)")
+	fs.StringVar(&cfg.cache, "cache", "", "directory of the persistent result store (blocking sets and results are reused across runs)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -93,16 +99,27 @@ func run(args []string, stdout io.Writer, logger *log.Logger) error {
 		archs = []*uarch.Arch{a}
 	}
 
+	ecfg := engine.Config{Workers: cfg.jobs, CacheDir: cfg.cache}
+	if cfg.verbose {
+		ecfg.BlockingProgress = func(gen uarch.Generation, done, total int, name string) {
+			if done%50 == 0 || done == total {
+				logger.Printf("%s: blocking discovery %d/%d (%s)", gen, done, total, name)
+			}
+		}
+	}
+	eng, err := engine.New(ecfg)
+	if err != nil {
+		return err
+	}
+
 	// Split the worker budget between the architecture level and the
-	// per-variant level so -j bounds the total parallelism. The division
-	// remainder is spread over the first architectures so the full budget is
-	// used (e.g. -j 8 over 5 architectures gives worker counts 2,2,2,1,1).
+	// per-variant level so -j bounds the total parallelism (e.g. -j 8 over
+	// 5 architectures gives worker counts 2,2,2,1,1).
+	split := engine.SplitBudget(cfg.jobs, len(archs))
 	outer := cfg.jobs
 	if outer > len(archs) {
 		outer = len(archs)
 	}
-	inner := cfg.jobs / outer
-	extra := cfg.jobs % outer
 
 	// Results are stored by architecture index, so the document layout does
 	// not depend on completion order (xmlout.Write additionally sorts by
@@ -112,16 +129,13 @@ func run(args []string, stdout io.Writer, logger *log.Logger) error {
 	sem := make(chan struct{}, outer)
 	var wg sync.WaitGroup
 	for i, arch := range archs {
-		workers := inner
-		if i < extra {
-			workers++
-		}
+		workers := split[i]
 		wg.Add(1)
 		go func(i int, arch *uarch.Arch, workers int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = characterizeArch(arch, cfg, workers, logger)
+			results[i], errs[i] = characterizeArch(eng, arch, cfg, workers, logger)
 		}(i, arch, workers)
 	}
 	wg.Wait()
@@ -142,12 +156,12 @@ func run(args []string, stdout io.Writer, logger *log.Logger) error {
 	return nil
 }
 
-// characterizeArch runs the characterization of one generation with the given
-// per-variant worker count and converts the result to the XML document model.
-func characterizeArch(arch *uarch.Arch, cfg config, workers int, logger *log.Logger) (xmlout.Architecture, error) {
+// characterizeArch runs the characterization of one generation through the
+// engine with the given per-variant worker count and converts the result to
+// the XML document model.
+func characterizeArch(eng *engine.Engine, arch *uarch.Arch, cfg config, workers int, logger *log.Logger) (xmlout.Architecture, error) {
 	start := time.Now()
-	c := core.NewForArch(arch)
-	opts := core.Options{SkipLatency: cfg.quick, Workers: workers}
+	opts := engine.RunOptions{SkipLatency: cfg.quick, Workers: workers}
 	if cfg.only != "" {
 		opts.Only = strings.Split(cfg.only, ",")
 	} else if cfg.sample > 1 {
@@ -163,9 +177,9 @@ func characterizeArch(arch *uarch.Arch, cfg config, workers int, logger *log.Log
 			}
 		}
 	}
-	res, err := c.CharacterizeAll(opts)
+	res, err := eng.CharacterizeArch(arch.Gen(), opts)
 	if err != nil {
-		return xmlout.Architecture{}, fmt.Errorf("%s: %w", arch.Name(), err)
+		return xmlout.Architecture{}, err
 	}
 	var analyzers []*iaca.Analyzer
 	for _, v := range iaca.SupportedVersions(arch.Gen()) {

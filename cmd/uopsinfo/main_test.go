@@ -86,3 +86,44 @@ func TestOutputByteIdenticalAcrossWorkerCounts(t *testing.T) {
 		}
 	}
 }
+
+// TestCacheColdWarmByteIdentical is the command-level cache guarantee: a
+// warm-cache run must produce byte-identical XML to the cold run that filled
+// the store, for any worker count, and corrupting the store must silently
+// fall back to recomputation with — again — identical output.
+func TestCacheColdWarmByteIdentical(t *testing.T) {
+	cache := t.TempDir()
+	only := "ADD_R64_R64,IMUL_R64_R64,PXOR_XMM_XMM,MOV_R64_M64,DIV_R64"
+	cold := runPipeline(t, "-arch", "Skylake", "-only", only, "-j", "4", "-cache", cache)
+
+	entries, err := os.ReadDir(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("cold run left the cache directory empty")
+	}
+
+	for _, j := range []string{"1", "4"} {
+		warm := runPipeline(t, "-arch", "Skylake", "-only", only, "-j", j, "-cache", cache)
+		if !bytes.Equal(warm, cold) {
+			t.Errorf("warm-cache -j %s output differs from the cold run (%d vs %d bytes)", j, len(warm), len(cold))
+		}
+	}
+
+	for _, ent := range entries {
+		if err := os.WriteFile(filepath.Join(cache, ent.Name()), []byte("corrupt"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recomputed := runPipeline(t, "-arch", "Skylake", "-only", only, "-j", "4", "-cache", cache)
+	if !bytes.Equal(recomputed, cold) {
+		t.Error("recomputed-after-corruption output differs from the cold run")
+	}
+
+	// A cacheless run must agree with everything above.
+	plain := runPipeline(t, "-arch", "Skylake", "-only", only, "-j", "4")
+	if !bytes.Equal(plain, cold) {
+		t.Error("cached output differs from a cacheless run")
+	}
+}

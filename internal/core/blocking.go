@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"uopsinfo/internal/asmgen"
 	"uopsinfo/internal/isa"
@@ -112,7 +114,53 @@ func blockingCandidate(in *isa.Instr) bool {
 // candidates by the set of ports they use, and selecting the instruction with
 // the highest throughput from each group (Section 5.1.1). MOV to memory is
 // used for the store-address and store-data combinations.
+//
+// The discovery runs sequentially; use DiscoverBlocking to shard the candidate
+// measurements across parallel worker stacks.
 func (c *Characterizer) FindBlockingInstructions() (*BlockingSet, error) {
+	return c.findBlocking(Options{})
+}
+
+// DiscoverBlocking discovers the blocking instructions, shards the candidate
+// isolation measurements across opts.Workers forked stacks (like
+// CharacterizeAll shards variants), and installs the result on the
+// Characterizer. The discovered set is identical for any worker count: the
+// per-candidate profiles are collected into a slice indexed by candidate, and
+// the group-and-select fold then runs sequentially in candidate order.
+// opts.BlockingProgress, if set, is called after each candidate.
+func (c *Characterizer) DiscoverBlocking(opts Options) (*BlockingSet, error) {
+	bs, err := c.findBlocking(opts)
+	if err != nil {
+		return nil, err
+	}
+	c.blocking = bs
+	return bs, nil
+}
+
+// SetBlocking installs an already-discovered blocking set, e.g. one restored
+// from a persistent store. It replaces any previously discovered set and must
+// not be called while a characterization run is in flight.
+func (c *Characterizer) SetBlocking(bs *BlockingSet) { c.blocking = bs }
+
+// isolation is the measured isolation profile of one blocking candidate. ok is
+// false for candidates whose measurement failed (they are skipped, matching
+// the sequential behaviour).
+type isolation struct {
+	ports []int
+	tp    float64
+	uops  float64
+	ok    bool
+}
+
+func (c *Characterizer) findBlocking(opts Options) (*BlockingSet, error) {
+	var candidates []*isa.Instr
+	for _, in := range c.gen.set.Instrs() {
+		if blockingCandidate(in) {
+			candidates = append(candidates, in)
+		}
+	}
+	profiles := c.isolationProfiles(candidates, opts)
+
 	bs := &BlockingSet{
 		SSE: make(map[string]BlockingInstr),
 		AVX: make(map[string]BlockingInstr),
@@ -124,22 +172,19 @@ func (c *Characterizer) FindBlockingInstructions() (*BlockingSet, error) {
 	sseGroups := make(map[string]*group)
 	avxGroups := make(map[string]*group)
 
-	for _, in := range c.gen.set.Instrs() {
-		if !blockingCandidate(in) {
+	for i, in := range candidates {
+		p := profiles[i]
+		if !p.ok {
 			continue
 		}
-		ports, tp, uops, err := c.isolationProfile(in, 8)
-		if err != nil {
-			continue
-		}
-		if uops < 0.6 || uops > 1.4 {
+		if p.uops < 0.6 || p.uops > 1.4 {
 			continue // not a 1-µop instruction
 		}
-		if len(ports) == 0 {
+		if len(p.ports) == 0 {
 			continue // handled at rename; a "zero-latency" instruction
 		}
-		key := uarch.PortComboKey(ports)
-		cand := BlockingInstr{Instr: in, Ports: ports, Throughput: tp, UopsOnCombo: 1}
+		key := uarch.PortComboKey(p.ports)
+		cand := BlockingInstr{Instr: in, Ports: p.ports, Throughput: p.tp, UopsOnCombo: 1}
 		update := func(groups map[string]*group) {
 			gr, ok := groups[key]
 			if !ok {
@@ -170,6 +215,70 @@ func (c *Characterizer) FindBlockingInstructions() (*BlockingSet, error) {
 		return nil, err
 	}
 	return bs, nil
+}
+
+// isolationProfiles measures the isolation profile of every candidate,
+// sharded across opts.Workers forked stacks. The returned slice is indexed by
+// candidate so callers can fold it in candidate order regardless of which
+// worker measured what. A runner that cannot be forked falls back to the
+// sequential path, matching the characterization scheduler's contract.
+func (c *Characterizer) isolationProfiles(cands []*isa.Instr, opts Options) []isolation {
+	profiles := make([]isolation, len(cands))
+	sink := &progressSink{total: len(cands), fn: opts.BlockingProgress}
+	workers := opts.Workers
+	if workers < 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers > 1 {
+		forks := make([]*Characterizer, 0, workers)
+		for i := 0; i < workers; i++ {
+			fc, err := c.Fork()
+			if err != nil {
+				forks = nil
+				break
+			}
+			forks = append(forks, fc)
+		}
+		if forks != nil {
+			var next int64
+			var wg sync.WaitGroup
+			for _, fc := range forks {
+				wg.Add(1)
+				go func(fc *Characterizer) {
+					defer wg.Done()
+					for {
+						i := int(atomic.AddInt64(&next, 1)) - 1
+						if i >= len(cands) {
+							return
+						}
+						profiles[i] = fc.profileCandidate(cands[i])
+						sink.report(cands[i].Name)
+					}
+				}(fc)
+			}
+			wg.Wait()
+			return profiles
+		}
+	}
+	for i, in := range cands {
+		profiles[i] = c.profileCandidate(in)
+		sink.report(in.Name)
+	}
+	return profiles
+}
+
+// profileCandidate measures one candidate, converting a measurement error
+// into a skipped profile (one unmeasurable candidate must not lose the rest
+// of the discovery).
+func (c *Characterizer) profileCandidate(in *isa.Instr) isolation {
+	ports, tp, uops, err := c.isolationProfile(in, 8)
+	if err != nil {
+		return isolation{}
+	}
+	return isolation{ports: ports, tp: tp, uops: uops, ok: true}
 }
 
 // addMemoryBlocking registers the load, store-address and store-data

@@ -65,8 +65,13 @@ type Options struct {
 	// runs sequentially on the calling Characterizer; negative values select
 	// DefaultWorkers(). Sharding requires a forkable runner (a
 	// *pipesim.Machine or a measure.RunnerForker); with any other runner the
-	// run silently falls back to the sequential path.
+	// run silently falls back to the sequential path. The same worker count
+	// also shards blocking-instruction discovery.
 	Workers int
+	// BlockingProgress, if non-nil, is called after each candidate during
+	// blocking-instruction discovery, under the same serialization contract
+	// as Progress.
+	BlockingProgress func(done, total int, name string)
 }
 
 // skipReason classifies instructions that are not fully characterized,
@@ -137,7 +142,7 @@ func (c *Characterizer) characterizeInstr(in *isa.Instr, opts Options) (*InstrRe
 // that many independent characterization stacks (see scheduler.go); the
 // blocking-instruction set is discovered once and shared read-only.
 func (c *Characterizer) CharacterizeAll(opts Options) (*ArchResult, error) {
-	if err := c.ensureBlocking(); err != nil {
+	if err := c.ensureBlockingWith(opts); err != nil {
 		return nil, err
 	}
 	instrs, err := c.resolveInstrs(opts)

@@ -166,15 +166,19 @@ func (c *Characterizer) MeasuredUops(in *isa.Instr) (portUops, issuedUops float6
 	return res.TotalUops / 4, res.IssuedUops / 4, nil
 }
 
-// ensureBlocking lazily discovers the blocking instructions.
+// ensureBlocking lazily discovers the blocking instructions (sequentially).
 func (c *Characterizer) ensureBlocking() error {
+	return c.ensureBlockingWith(Options{})
+}
+
+// ensureBlockingWith lazily discovers the blocking instructions, sharding the
+// candidate measurements across opts.Workers stacks.
+func (c *Characterizer) ensureBlockingWith(opts Options) error {
 	if c.blocking != nil {
 		return nil
 	}
-	bs, err := c.FindBlockingInstructions()
-	if err != nil {
+	if _, err := c.DiscoverBlocking(opts); err != nil {
 		return fmt.Errorf("core: discovering blocking instructions: %w", err)
 	}
-	c.blocking = bs
 	return nil
 }

@@ -1,0 +1,309 @@
+// Package engine is the single entry point for building and running
+// characterization stacks. It owns the construction of the
+// simulator/harness/characterizer tower for a microarchitecture generation,
+// the sharding budget for parallel runs, and the persistent result store, so
+// that every command-line tool gets the same -j / -cache behaviour from the
+// same code path instead of assembling the layers by hand.
+//
+// The engine guarantees the layer's determinism contract end to end: blocking
+// discovery and per-variant characterization are sharded across forked worker
+// stacks with deterministic merges, and cached results round-trip exactly, so
+// the emitted XML is byte-identical for any worker count and for cold vs.
+// warm caches.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"uopsinfo/internal/core"
+	"uopsinfo/internal/measure"
+	"uopsinfo/internal/pipesim"
+	"uopsinfo/internal/store"
+	"uopsinfo/internal/uarch"
+)
+
+// Config controls how the engine builds its stacks.
+type Config struct {
+	// Workers is the total parallel worker budget shared by everything the
+	// engine runs: blocking discovery, per-variant characterization and
+	// concurrent per-generation prewarming all draw from it. <= 0 selects
+	// core.DefaultWorkers() (one worker per CPU).
+	Workers int
+	// CacheDir, if non-empty, enables the persistent result store rooted at
+	// that directory: discovered blocking sets and characterization results
+	// are reused across process runs. Misses and corrupt entries silently
+	// fall through to recomputation.
+	CacheDir string
+	// Measure is the measurement-protocol configuration for every harness
+	// the engine builds. The zero value selects measure.DefaultConfig().
+	Measure measure.Config
+	// BlockingProgress, if non-nil, is called after each candidate during
+	// blocking-instruction discovery of any generation.
+	BlockingProgress func(gen uarch.Generation, done, total int, name string)
+}
+
+// Engine builds and caches one characterization stack per generation.
+type Engine struct {
+	cfg  Config
+	mcfg measure.Config
+	st   *store.Store
+
+	mu    sync.Mutex
+	chars map[uarch.Generation]*charEntry
+}
+
+// charEntry makes concurrent requests for the same generation build the
+// stack exactly once.
+type charEntry struct {
+	once sync.Once
+	c    *core.Characterizer
+	err  error
+}
+
+// New returns an engine for the configuration. It fails only if the cache
+// directory is set and cannot be created.
+func New(cfg Config) (*Engine, error) {
+	mcfg := cfg.Measure
+	if mcfg == (measure.Config{}) {
+		mcfg = measure.DefaultConfig()
+	}
+	e := &Engine{cfg: cfg, mcfg: mcfg, chars: make(map[uarch.Generation]*charEntry)}
+	if cfg.CacheDir != "" {
+		st, err := store.Open(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		e.st = st
+	}
+	return e, nil
+}
+
+// Default returns an engine with the default configuration: the default
+// measurement protocol, a DefaultWorkers budget, and no persistent store.
+func Default() *Engine {
+	e, err := New(Config{})
+	if err != nil {
+		// Unreachable: New only fails when a cache directory is configured.
+		panic(err)
+	}
+	return e
+}
+
+// Workers returns the engine's total worker budget.
+func (e *Engine) Workers() int {
+	if e.cfg.Workers > 0 {
+		return e.cfg.Workers
+	}
+	return core.DefaultWorkers()
+}
+
+// Harness builds a fresh, independent measurement stack (simulator plus
+// harness) for a generation, e.g. for direct sequence measurements or
+// prior-work baselines that must not share simulator state with the
+// characterizer.
+func (e *Engine) Harness(gen uarch.Generation) *measure.Harness {
+	return measure.NewWithConfig(pipesim.New(uarch.Get(gen)), e.mcfg)
+}
+
+// Characterizer returns the (lazily built, cached) characterizer for a
+// generation with its blocking-instruction set ready: restored from the
+// persistent store when possible, discovered in parallel under the engine's
+// worker budget otherwise.
+func (e *Engine) Characterizer(gen uarch.Generation) (*core.Characterizer, error) {
+	return e.characterizer(gen, e.Workers())
+}
+
+func (e *Engine) characterizer(gen uarch.Generation, workers int) (*core.Characterizer, error) {
+	e.mu.Lock()
+	ent, ok := e.chars[gen]
+	if !ok {
+		ent = &charEntry{}
+		e.chars[gen] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() { ent.c, ent.err = e.build(gen, workers) })
+	return ent.c, ent.err
+}
+
+// build constructs the full stack for a generation and ensures its blocking
+// set, via the store or parallel discovery.
+func (e *Engine) build(gen uarch.Generation, workers int) (*core.Characterizer, error) {
+	arch := uarch.Get(gen)
+	c := core.New(e.Harness(gen))
+	key := e.key(arch, store.KindBlocking)
+	if e.st != nil {
+		if rec, ok := e.st.LoadBlocking(key); ok {
+			if bs, ok := rec.Restore(arch.InstrSet()); ok {
+				c.SetBlocking(bs)
+				return c, nil
+			}
+		}
+	}
+	opts := core.Options{Workers: workers}
+	if e.cfg.BlockingProgress != nil {
+		opts.BlockingProgress = func(done, total int, name string) {
+			e.cfg.BlockingProgress(gen, done, total, name)
+		}
+	}
+	bs, err := c.DiscoverBlocking(opts)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %s: discovering blocking instructions: %w", arch.Name(), err)
+	}
+	if e.st != nil {
+		// Best-effort: a failed cache write must not lose the discovery that
+		// just completed; the next run simply recomputes.
+		_ = e.st.SaveBlocking(key, store.RecordBlocking(bs))
+	}
+	return c, nil
+}
+
+// key builds the store key for a generation: the content hash covers the
+// generation, the measurement configuration and the full ISA variant set, so
+// any change to the universe invalidates cached entries.
+func (e *Engine) key(arch *uarch.Arch, scope string) store.Key {
+	instrs := arch.InstrSet().Instrs()
+	variants := make([]string, len(instrs))
+	for i, in := range instrs {
+		variants[i] = in.Name
+	}
+	return store.Key{Arch: arch.Name(), Measure: e.mcfg, Variants: variants, Scope: scope}
+}
+
+// RunOptions controls one whole-ISA characterization run through the engine.
+type RunOptions struct {
+	// Only restricts the run to the named variants (all variants if empty).
+	Only []string
+	// SkipLatency, SkipPortUsage and SkipThroughput disable parts of the
+	// characterization, as in core.Options.
+	SkipLatency    bool
+	SkipPortUsage  bool
+	SkipThroughput bool
+	// Workers overrides the engine's worker budget for this run (e.g. when a
+	// caller splits its budget across concurrent generations). <= 0 uses the
+	// engine budget.
+	Workers int
+	// Progress, if non-nil, is called after each instruction.
+	Progress func(done, total int, name string)
+}
+
+// scope derives the result-store scope string for the run: everything that
+// changes the result (and nothing that does not — worker counts and progress
+// callbacks are excluded by the determinism guarantee).
+func (o RunOptions) scope() string {
+	return fmt.Sprintf("result skipLatency=%v skipPortUsage=%v skipThroughput=%v only=%s",
+		o.SkipLatency, o.SkipPortUsage, o.SkipThroughput, strings.Join(o.Only, ","))
+}
+
+// CharacterizeArch runs (or loads from the store) the characterization of
+// one generation. On a store hit the result is returned without building a
+// characterizer; on a miss the run is sharded across the worker budget and
+// the result persisted for the next invocation.
+func (e *Engine) CharacterizeArch(gen uarch.Generation, opts RunOptions) (*core.ArchResult, error) {
+	arch := uarch.Get(gen)
+	key := e.key(arch, opts.scope())
+	if e.st != nil {
+		if res, ok := e.st.LoadResult(key); ok {
+			return res, nil
+		}
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = e.Workers()
+	}
+	c, err := e.characterizer(gen, workers)
+	if err != nil {
+		return nil, err
+	}
+	copts := core.Options{
+		Only:           opts.Only,
+		SkipLatency:    opts.SkipLatency,
+		SkipPortUsage:  opts.SkipPortUsage,
+		SkipThroughput: opts.SkipThroughput,
+		Progress:       opts.Progress,
+		Workers:        workers,
+	}
+	res, err := c.CharacterizeAll(copts)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %s: %w", arch.Name(), err)
+	}
+	if e.st != nil {
+		// Best-effort, as for blocking sets: the computed result wins over a
+		// failed cache write.
+		_ = e.st.SaveResult(key, res)
+	}
+	return res, nil
+}
+
+// SplitBudget divides a total worker budget across parts that run
+// concurrently, so the total parallelism stays within budget: at most
+// min(budget, parts) entries run at once, each entry gets budget/parts
+// workers (at least 1), and the division remainder is spread over the first
+// entries so the full budget is used. For example, a budget of 8 over 5
+// parts yields 2,2,2,1,1.
+func SplitBudget(budget, parts int) []int {
+	if parts <= 0 {
+		return nil
+	}
+	if budget < 1 {
+		budget = 1
+	}
+	outer := budget
+	if outer > parts {
+		outer = parts
+	}
+	inner := budget / outer
+	extra := budget % outer
+	split := make([]int, parts)
+	for i := range split {
+		split[i] = 1
+		if i < outer {
+			split[i] = inner
+			if i < extra {
+				split[i]++
+			}
+		}
+	}
+	return split
+}
+
+// Prewarm builds the characterizers (including blocking discovery) for the
+// given generations concurrently, splitting the engine's worker budget
+// between the generation level and the per-candidate level so the total
+// parallelism stays within budget. Duplicate generations are built once.
+func (e *Engine) Prewarm(gens []uarch.Generation) error {
+	seen := make(map[uarch.Generation]bool, len(gens))
+	unique := make([]uarch.Generation, 0, len(gens))
+	for _, gen := range gens {
+		if !seen[gen] {
+			seen[gen] = true
+			unique = append(unique, gen)
+		}
+	}
+	if len(unique) == 0 {
+		return nil
+	}
+	budget := e.Workers()
+	split := SplitBudget(budget, len(unique))
+	outer := budget
+	if outer > len(unique) {
+		outer = len(unique)
+	}
+
+	errs := make([]error, len(unique))
+	sem := make(chan struct{}, outer)
+	var wg sync.WaitGroup
+	for i, gen := range unique {
+		wg.Add(1)
+		go func(i int, gen uarch.Generation, workers int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			_, errs[i] = e.characterizer(gen, workers)
+		}(i, gen, split[i])
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

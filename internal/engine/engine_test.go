@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"uopsinfo/internal/uarch"
+	"uopsinfo/internal/xmlout"
+)
+
+var testOnly = []string{"ADD_R64_R64", "IMUL_R64_R64", "PXOR_XMM_XMM", "MOV_R64_M64"}
+
+func mustNew(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func renderXML(t *testing.T, e *Engine, opts RunOptions) []byte {
+	t.Helper()
+	res, err := e.CharacterizeArch(uarch.Skylake, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	doc := &xmlout.Document{Architectures: []xmlout.Architecture{xmlout.FromArchResult(res, nil)}}
+	if err := xmlout.Write(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestEngineCache drives the full store path once (one cold blocking
+// discovery) and checks every warm-path guarantee against it.
+func TestEngineCache(t *testing.T) {
+	dir := t.TempDir()
+	opts := RunOptions{Only: testOnly}
+
+	cold := mustNew(t, Config{Workers: 4, CacheDir: dir})
+	coldXML := renderXML(t, cold, opts)
+	coldRes, err := cold.CharacterizeArch(uarch.Skylake, opts) // second call: in-process store hit
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("cache dir has %d entries after a cold run, want 2 (blocking + result)", len(entries))
+	}
+
+	t.Run("warm result is byte-identical", func(t *testing.T) {
+		for _, workers := range []int{1, 4} {
+			warm := mustNew(t, Config{Workers: workers, CacheDir: dir})
+			if got := renderXML(t, warm, opts); !bytes.Equal(got, coldXML) {
+				t.Errorf("workers=%d: warm-cache XML differs from cold run (%d vs %d bytes)",
+					workers, len(got), len(coldXML))
+			}
+		}
+	})
+
+	t.Run("warm blocking set restores without discovery", func(t *testing.T) {
+		warm := mustNew(t, Config{
+			Workers:  1,
+			CacheDir: dir,
+			BlockingProgress: func(gen uarch.Generation, done, total int, name string) {
+				t.Errorf("blocking discovery ran on a warm cache (%s %d/%d)", gen, done, total)
+			},
+		})
+		c, err := warm.Characterizer(uarch.Skylake)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBS, err := cold.chars[uarch.Skylake].c.Blocking()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotBS, err := c.Blocking()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gotBS.SSE) != len(wantBS.SSE) || len(gotBS.AVX) != len(wantBS.AVX) {
+			t.Fatalf("restored blocking set has %d/%d combinations, want %d/%d",
+				len(gotBS.SSE), len(gotBS.AVX), len(wantBS.SSE), len(wantBS.AVX))
+		}
+		for key, w := range wantBS.SSE {
+			g, ok := gotBS.SSE[key]
+			if !ok || g.Instr.Name != w.Instr.Name || g.Throughput != w.Throughput {
+				t.Errorf("restored SSE p%s = %+v, want %s", key, g, w.Instr.Name)
+			}
+		}
+	})
+
+	t.Run("corrupt cache falls back to recomputation", func(t *testing.T) {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ent := range entries {
+			if err := os.WriteFile(filepath.Join(dir, ent.Name()), []byte("corrupt"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		recomputed := mustNew(t, Config{Workers: 4, CacheDir: dir})
+		if got := renderXML(t, recomputed, opts); !bytes.Equal(got, coldXML) {
+			t.Error("recomputed-after-corruption XML differs from the cold run")
+		}
+		res, err := recomputed.CharacterizeArch(uarch.Skylake, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res, coldRes) {
+			t.Error("recomputed result differs from the cold result")
+		}
+	})
+
+	t.Run("different scope misses", func(t *testing.T) {
+		warm := mustNew(t, Config{Workers: 4, CacheDir: dir})
+		res, err := warm.CharacterizeArch(uarch.Skylake, RunOptions{Only: testOnly, SkipLatency: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res.Results {
+			if len(r.Latency.Pairs) != 0 {
+				t.Errorf("%s: SkipLatency run served a cached full result", r.Name)
+			}
+		}
+	})
+}
+
+// TestEngineWithoutCache checks the engine works with no store configured
+// and that results match core's direct path.
+func TestEngineWithoutCache(t *testing.T) {
+	e := Default()
+	res, err := e.CharacterizeArch(uarch.Skylake, RunOptions{Only: testOnly, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != len(testOnly) {
+		t.Fatalf("got %d results, want %d", len(res.Results), len(testOnly))
+	}
+	for _, name := range testOnly {
+		if res.Results[name] == nil || res.Results[name].Skipped != "" {
+			t.Errorf("%s not characterized: %+v", name, res.Results[name])
+		}
+	}
+}
+
+// TestPrewarmBuildsConcurrently prewarms two generations and checks both
+// characterizers come out usable and are the ones later calls observe.
+func TestPrewarmBuildsConcurrently(t *testing.T) {
+	e := mustNew(t, Config{Workers: 4})
+	gens := []uarch.Generation{uarch.Skylake, uarch.Nehalem, uarch.Skylake}
+	if err := e.Prewarm(gens); err != nil {
+		t.Fatal(err)
+	}
+	for _, gen := range gens {
+		c, err := e.Characterizer(gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Arch().Gen() != gen {
+			t.Errorf("characterizer for %s reports %s", gen, c.Arch().Gen())
+		}
+		bs, err := c.Blocking()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bs.SSE) == 0 {
+			t.Errorf("%s: prewarmed characterizer has no blocking set", gen)
+		}
+	}
+}

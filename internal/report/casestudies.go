@@ -3,13 +3,13 @@ package report
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"uopsinfo/internal/core"
+	"uopsinfo/internal/engine"
 	"uopsinfo/internal/fog"
 	"uopsinfo/internal/iaca"
 	"uopsinfo/internal/isa"
-	"uopsinfo/internal/measure"
-	"uopsinfo/internal/pipesim"
 	"uopsinfo/internal/uarch"
 )
 
@@ -41,43 +41,67 @@ func (cs *CaseStudy) Format() string {
 	return b.String()
 }
 
-// Context caches the per-generation characterizers and baselines that the
+// Context is the report layer's view of the characterization engine: it
+// hands out the per-generation characterizers and prior-work baselines the
 // case studies share (discovering blocking instructions is the expensive
-// part).
+// part, which the engine parallelizes and caches).
 type Context struct {
-	chars     map[uarch.Generation]*core.Characterizer
+	eng *engine.Engine
+
+	mu        sync.Mutex
 	baselines map[uarch.Generation]*fog.Baseline
 }
 
-// NewContext returns an empty context.
+// NewContext returns a context on a default engine (no persistent store,
+// default worker budget).
 func NewContext() *Context {
-	return &Context{
-		chars:     make(map[uarch.Generation]*core.Characterizer),
-		baselines: make(map[uarch.Generation]*fog.Baseline),
-	}
+	return NewContextWith(engine.Default())
 }
 
-// Char returns (building if necessary) the characterizer for a generation.
-func (ctx *Context) Char(gen uarch.Generation) *core.Characterizer {
-	if c, ok := ctx.chars[gen]; ok {
-		return c
-	}
-	c := core.NewForArch(uarch.Get(gen))
-	ctx.chars[gen] = c
-	return c
+// NewContextWith returns a context on the given engine, inheriting its
+// worker budget and persistent store.
+func NewContextWith(e *engine.Engine) *Context {
+	return &Context{eng: e, baselines: make(map[uarch.Generation]*fog.Baseline)}
+}
+
+// Engine returns the underlying characterization engine.
+func (ctx *Context) Engine() *engine.Engine { return ctx.eng }
+
+// Char returns (building if necessary) the characterizer for a generation,
+// with its blocking set restored from the engine's store or discovered in
+// parallel.
+func (ctx *Context) Char(gen uarch.Generation) (*core.Characterizer, error) {
+	return ctx.eng.Characterizer(gen)
+}
+
+// Prewarm builds the characterizers for the given generations concurrently
+// under the engine's shared worker budget.
+func (ctx *Context) Prewarm(gens []uarch.Generation) error {
+	return ctx.eng.Prewarm(gens)
 }
 
 // Baseline returns (building if necessary) the prior-work baseline for a
 // generation. It uses its own simulator instance so divider-value switching
 // in the characterizer does not interfere.
 func (ctx *Context) Baseline(gen uarch.Generation) *fog.Baseline {
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
 	if b, ok := ctx.baselines[gen]; ok {
 		return b
 	}
-	arch := uarch.Get(gen)
-	b := fog.New(measure.New(pipesim.New(arch)))
+	b := fog.New(ctx.eng.Harness(gen))
 	ctx.baselines[gen] = b
 	return b
+}
+
+// CaseStudyGenerations lists the generations the case studies measure on, so
+// commands can prewarm their characterizers concurrently before running the
+// studies.
+func CaseStudyGenerations() []uarch.Generation {
+	return []uarch.Generation{
+		uarch.Nehalem, uarch.Westmere, uarch.SandyBridge,
+		uarch.IvyBridge, uarch.Haswell, uarch.Skylake,
+	}
 }
 
 func (ctx *Context) variant(gen uarch.Generation, name string) (*isa.Instr, error) {
@@ -103,7 +127,10 @@ func AESLatencyStudy(ctx *Context) (*CaseStudy, error) {
 	cs := &CaseStudy{ID: "7.3.1", Title: "AESDEC XMM1, XMM2: latency per operand pair"}
 	gens := []uarch.Generation{uarch.Westmere, uarch.SandyBridge, uarch.IvyBridge, uarch.Haswell, uarch.Skylake}
 	for _, gen := range gens {
-		c := ctx.Char(gen)
+		c, err := ctx.Char(gen)
+		if err != nil {
+			return nil, err
+		}
 		in, err := ctx.variant(gen, "AESDEC_XMM_XMM")
 		if err != nil {
 			return nil, err
@@ -133,7 +160,10 @@ func AESLatencyStudy(ctx *Context) (*CaseStudy, error) {
 func SHLDStudy(ctx *Context) (*CaseStudy, error) {
 	cs := &CaseStudy{ID: "7.3.2", Title: "SHLD R1, R2, imm: why prior publications disagree"}
 	for _, gen := range []uarch.Generation{uarch.Nehalem, uarch.Skylake} {
-		c := ctx.Char(gen)
+		c, err := ctx.Char(gen)
+		if err != nil {
+			return nil, err
+		}
 		b := ctx.Baseline(gen)
 		in, err := ctx.variant(gen, "SHLD_R64_R64_I8")
 		if err != nil {
@@ -174,7 +204,10 @@ func SHLDStudy(ctx *Context) (*CaseStudy, error) {
 func MOVQ2DQStudy(ctx *Context) (*CaseStudy, error) {
 	cs := &CaseStudy{ID: "7.3.3", Title: "MOVQ2DQ on Skylake: port usage"}
 	gen := uarch.Skylake
-	c := ctx.Char(gen)
+	c, err := ctx.Char(gen)
+	if err != nil {
+		return nil, err
+	}
 	b := ctx.Baseline(gen)
 	in, err := ctx.variant(gen, "MOVQ2DQ_XMM_MM")
 	if err != nil {
@@ -207,7 +240,10 @@ func MOVQ2DQStudy(ctx *Context) (*CaseStudy, error) {
 func MOVDQ2QStudy(ctx *Context) (*CaseStudy, error) {
 	cs := &CaseStudy{ID: "7.3.4", Title: "MOVDQ2Q: port usage on Haswell and Sandy Bridge"}
 	for _, gen := range []uarch.Generation{uarch.Haswell, uarch.SandyBridge} {
-		c := ctx.Char(gen)
+		c, err := ctx.Char(gen)
+		if err != nil {
+			return nil, err
+		}
 		b := ctx.Baseline(gen)
 		in, err := ctx.variant(gen, "MOVDQ2Q_MM_XMM")
 		if err != nil {
@@ -243,7 +279,10 @@ func MOVDQ2QStudy(ctx *Context) (*CaseStudy, error) {
 func MultiLatencyStudy(ctx *Context) (*CaseStudy, error) {
 	cs := &CaseStudy{ID: "7.3.5", Title: "Instructions with multiple latencies (Skylake)"}
 	gen := uarch.Skylake
-	c := ctx.Char(gen)
+	c, err := ctx.Char(gen)
+	if err != nil {
+		return nil, err
+	}
 	names := []string{"SHLD_R64_R64_I8", "SHL_R64_I8", "IMUL_R64_R64", "PSHUFB_XMM_XMM", "ADD_R64_M64", "XADD_R64_R64"}
 	found := 0
 	for _, name := range names {
@@ -283,7 +322,10 @@ func MultiLatencyStudy(ctx *Context) (*CaseStudy, error) {
 func ZeroIdiomStudy(ctx *Context) (*CaseStudy, error) {
 	cs := &CaseStudy{ID: "7.3.6", Title: "Dependency-breaking idioms (Skylake)"}
 	gen := uarch.Skylake
-	c := ctx.Char(gen)
+	c, err := ctx.Char(gen)
+	if err != nil {
+		return nil, err
+	}
 	for _, name := range []string{"PCMPGTB_XMM_XMM", "PCMPGTD_XMM_XMM", "PCMPGTQ_XMM_XMM", "PXOR_XMM_XMM", "PCMPEQD_XMM_XMM"} {
 		in, err := ctx.variant(gen, name)
 		if err != nil {
@@ -323,7 +365,10 @@ func PortUsageMotivationStudy(ctx *Context) (*CaseStudy, error) {
 		{uarch.Haswell, "ADC_R64_R64"},
 	}
 	for _, tc := range cases {
-		c := ctx.Char(tc.gen)
+		c, err := ctx.Char(tc.gen)
+		if err != nil {
+			return nil, err
+		}
 		b := ctx.Baseline(tc.gen)
 		in, err := ctx.variant(tc.gen, tc.name)
 		if err != nil {
@@ -351,7 +396,10 @@ func IACADiscrepancyStudy(ctx *Context) (*CaseStudy, error) {
 	cs := &CaseStudy{ID: "7.2", Title: "Differences between hardware measurements and IACA"}
 	skl := uarch.Get(uarch.Skylake)
 	hsw := uarch.Get(uarch.Haswell)
-	cSKL := ctx.Char(uarch.Skylake)
+	cSKL, err := ctx.Char(uarch.Skylake)
+	if err != nil {
+		return nil, err
+	}
 
 	// CMC: implicit carry-flag dependency ignored by IACA.
 	cmc, err := ctx.variant(uarch.Skylake, "CMC")
@@ -445,7 +493,10 @@ func IACADiscrepancyStudy(ctx *Context) (*CaseStudy, error) {
 	if err != nil {
 		return nil, err
 	}
-	cHSW := ctx.Char(uarch.Haswell)
+	cHSW, err := ctx.Char(uarch.Haswell)
+	if err != nil {
+		return nil, err
+	}
 	sahf := hsw.InstrSet().Lookup("SAHF")
 	puSAHF, err := cHSW.PortUsage(sahf, 1)
 	if err != nil {
@@ -461,7 +512,10 @@ func IACADiscrepancyStudy(ctx *Context) (*CaseStudy, error) {
 	if err != nil {
 		return nil, err
 	}
-	cNHM := ctx.Char(uarch.Nehalem)
+	cNHM, err := ctx.Char(uarch.Nehalem)
+	if err != nil {
+		return nil, err
+	}
 	imul := nhm.InstrSet().Lookup("IMUL_R64_M64")
 	uopsIMUL, _, err := cNHM.MeasuredUops(imul)
 	if err != nil {
@@ -480,7 +534,10 @@ func IACADiscrepancyStudy(ctx *Context) (*CaseStudy, error) {
 func ThroughputLPStudy(ctx *Context) (*CaseStudy, error) {
 	cs := &CaseStudy{ID: "5.3.2", Title: "Throughput computed from port usage (Skylake)"}
 	gen := uarch.Skylake
-	c := ctx.Char(gen)
+	c, err := ctx.Char(gen)
+	if err != nil {
+		return nil, err
+	}
 	names := []string{"ADD_R64_R64", "IMUL_R64_R64", "PSHUFD_XMM_XMM_I8", "PADDD_XMM_XMM", "MULPS_XMM_XMM", "MOVQ2DQ_XMM_MM"}
 	for _, name := range names {
 		in, err := ctx.variant(gen, name)

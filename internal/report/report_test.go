@@ -1,14 +1,29 @@
 package report
 
 import (
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"uopsinfo/internal/uarch"
 )
 
+// The report tests share one context: the engine behind it builds each
+// generation's characterizer (blocking discovery is the expensive part) only
+// once for the whole package.
+var (
+	testCtxOnce sync.Once
+	testCtx     *Context
+)
+
+func sharedCtx() *Context {
+	testCtxOnce.Do(func() { testCtx = NewContext() })
+	return testCtx
+}
+
 func TestTable1RowSkylake(t *testing.T) {
-	row, err := BuildTable1Row(uarch.Get(uarch.Skylake), Table1Options{SampleEvery: 60})
+	row, err := BuildTable1Row(uarch.Get(uarch.Skylake), Table1Options{SampleEvery: 60, Context: sharedCtx()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +50,7 @@ func TestTable1RowSkylake(t *testing.T) {
 }
 
 func TestTable1RowKabyLakeHasNoIACA(t *testing.T) {
-	row, err := BuildTable1Row(uarch.Get(uarch.KabyLake), Table1Options{SampleEvery: 50})
+	row, err := BuildTable1Row(uarch.Get(uarch.KabyLake), Table1Options{SampleEvery: 50, Context: sharedCtx()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +98,7 @@ func TestCaseStudyFormatting(t *testing.T) {
 }
 
 func TestPortUsageMotivationStudy(t *testing.T) {
-	ctx := NewContext()
+	ctx := sharedCtx()
 	cs, err := PortUsageMotivationStudy(ctx)
 	if err != nil {
 		t.Fatal(err)
@@ -98,7 +113,7 @@ func TestPortUsageMotivationStudy(t *testing.T) {
 }
 
 func TestMOVQ2DQStudy(t *testing.T) {
-	ctx := NewContext()
+	ctx := sharedCtx()
 	cs, err := MOVQ2DQStudy(ctx)
 	if err != nil {
 		t.Fatal(err)
@@ -113,7 +128,7 @@ func TestMOVQ2DQStudy(t *testing.T) {
 }
 
 func TestSHLDStudyValues(t *testing.T) {
-	ctx := NewContext()
+	ctx := sharedCtx()
 	cs, err := SHLDStudy(ctx)
 	if err != nil {
 		t.Fatal(err)
@@ -139,5 +154,39 @@ func TestHelpersBuildSequences(t *testing.T) {
 	}
 	if _, err := buildSimple(skl, "NO_SUCH_VARIANT"); err == nil {
 		t.Error("buildSimple accepted an unknown variant")
+	}
+}
+
+// TestBuildTable1ParallelMatchesSerial checks that concurrent row building
+// produces rows identical to a sequential build, in generation order.
+func TestBuildTable1ParallelMatchesSerial(t *testing.T) {
+	gens := []uarch.Generation{uarch.Skylake, uarch.Haswell}
+	serial, err := BuildTable1(Table1Options{SampleEvery: 200, Generations: gens, Context: sharedCtx()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := BuildTable1(Table1Options{SampleEvery: 200, Generations: gens, Context: sharedCtx(), Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("parallel rows differ from serial:\ngot  %+v\nwant %+v", parallel, serial)
+	}
+	if serial[0].Arch != "Skylake" || serial[1].Arch != "Haswell" {
+		t.Errorf("rows out of generation order: %+v", serial)
+	}
+}
+
+// TestBuildTable1DuplicateGenerations checks that a duplicated generation in
+// a parallel build is measured once (the shared characterizer must not be
+// driven from two goroutines) and still yields one row per request.
+func TestBuildTable1DuplicateGenerations(t *testing.T) {
+	gens := []uarch.Generation{uarch.Skylake, uarch.Skylake}
+	rows, err := BuildTable1(Table1Options{SampleEvery: 300, Generations: gens, Context: sharedCtx(), Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || !reflect.DeepEqual(rows[0], rows[1]) {
+		t.Errorf("duplicate generations should yield two identical rows, got %+v", rows)
 	}
 }

@@ -5,8 +5,10 @@
 package report
 
 import (
+	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
 	"uopsinfo/internal/core"
 	"uopsinfo/internal/iaca"
@@ -33,7 +35,8 @@ type Table1Row struct {
 	PortsMatchPct float64
 }
 
-// Table1Options controls how much of the instruction set is compared.
+// Table1Options controls how much of the instruction set is compared and how
+// the comparison runs.
 type Table1Options struct {
 	// SampleEvery compares every n-th eligible variant (1 = all). Values
 	// below 1 are treated as 1.
@@ -41,8 +44,15 @@ type Table1Options struct {
 	// Generations restricts the table to the given generations (all nine if
 	// empty).
 	Generations []uarch.Generation
-	// Progress, if non-nil, is called per generation.
+	// Progress, if non-nil, is called per generation. With Workers > 1 the
+	// calls come from concurrent goroutines in completion-dependent order.
 	Progress func(arch string)
+	// Context supplies the characterization stacks (and thereby the engine's
+	// worker budget and persistent store). Nil builds a default context.
+	Context *Context
+	// Workers bounds how many generations are compared concurrently; the
+	// rows come out in generation order regardless. <= 1 runs sequentially.
+	Workers int
 }
 
 // comparable reports whether a variant takes part in the Table 1 comparison:
@@ -86,7 +96,14 @@ func BuildTable1Row(arch *uarch.Arch, opts Table1Options) (Table1Row, error) {
 	if every < 1 {
 		every = 1
 	}
-	c := core.NewForArch(arch)
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = NewContext()
+	}
+	c, err := ctx.Char(arch.Gen())
+	if err != nil {
+		return row, err
+	}
 	uopsMatch, portsChecked, portsMatch := 0, 0, 0
 	idx := 0
 	for _, in := range arch.InstrSet().Instrs() {
@@ -153,7 +170,10 @@ func roundUsage(pu core.PortUsage) map[string]int {
 	return out
 }
 
-// BuildTable1 builds all requested rows.
+// BuildTable1 builds all requested rows. With opts.Workers > 1 the
+// generations are compared concurrently (after prewarming their
+// characterizers under the engine's shared worker budget); the rows are
+// returned in generation order and are identical to a sequential build.
 func BuildTable1(opts Table1Options) ([]Table1Row, error) {
 	gens := opts.Generations
 	if len(gens) == 0 {
@@ -161,17 +181,73 @@ func BuildTable1(opts Table1Options) ([]Table1Row, error) {
 			gens = append(gens, a.Gen())
 		}
 	}
-	var rows []Table1Row
+	if opts.Context == nil {
+		opts.Context = NewContext()
+	}
+	if opts.Workers <= 1 {
+		var rows []Table1Row
+		for _, g := range gens {
+			arch := uarch.Get(g)
+			if opts.Progress != nil {
+				opts.Progress(arch.Name())
+			}
+			row, err := BuildTable1Row(arch, opts)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+		return rows, nil
+	}
+
+	// Generations without IACA support never build a characterization stack
+	// (their rows are header-only), so only the rest is prewarmed. The
+	// fan-out runs over unique generations: a characterizer owns one
+	// stateful simulator, so a duplicated generation must not be measured
+	// from two goroutines.
+	var warm, unique []uarch.Generation
+	seen := make(map[uarch.Generation]bool, len(gens))
 	for _, g := range gens {
-		arch := uarch.Get(g)
-		if opts.Progress != nil {
-			opts.Progress(arch.Name())
+		if seen[g] {
+			continue
 		}
-		row, err := BuildTable1Row(arch, opts)
-		if err != nil {
-			return nil, err
+		seen[g] = true
+		unique = append(unique, g)
+		if len(iaca.SupportedVersions(g)) > 0 {
+			warm = append(warm, g)
 		}
-		rows = append(rows, row)
+	}
+	if err := opts.Context.Prewarm(warm); err != nil {
+		return nil, err
+	}
+
+	uniqueRows := make(map[uarch.Generation]*Table1Row, len(unique))
+	for _, g := range unique {
+		uniqueRows[g] = &Table1Row{}
+	}
+	errs := make([]error, len(unique))
+	sem := make(chan struct{}, opts.Workers)
+	var wg sync.WaitGroup
+	for i, g := range unique {
+		wg.Add(1)
+		go func(i int, g uarch.Generation) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			arch := uarch.Get(g)
+			if opts.Progress != nil {
+				opts.Progress(arch.Name())
+			}
+			*uniqueRows[g], errs[i] = BuildTable1Row(arch, opts)
+		}(i, g)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	rows := make([]Table1Row, len(gens))
+	for i, g := range gens {
+		rows[i] = *uniqueRows[g]
 	}
 	return rows, nil
 }

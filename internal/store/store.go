@@ -1,0 +1,249 @@
+// Package store is the persistent result store of the characterization
+// engine: it caches discovered blocking-instruction sets and whole-ISA
+// characterization results across process runs, so the CLI tools do not have
+// to re-measure from scratch on every invocation.
+//
+// Entries are keyed by a content hash of everything a result depends on: the
+// microarchitecture generation, the measurement-protocol configuration, the
+// full ISA variant set, and a scope string describing what was computed
+// (blocking discovery vs. a characterization run and its options). Files are
+// written atomically (temp file + rename) inside a versioned JSON envelope.
+// Every load failure — missing file, unreadable file, corrupt JSON, version
+// or kind mismatch, unknown instruction variant — is reported as a plain
+// cache miss so callers silently fall through to recomputation.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"uopsinfo/internal/core"
+	"uopsinfo/internal/isa"
+	"uopsinfo/internal/measure"
+)
+
+// Version is the on-disk format version. Bump it whenever the payload
+// structures or the key derivation change incompatibly; old files then read
+// as misses and are recomputed.
+const Version = 1
+
+// Kinds of stored entries.
+const (
+	KindBlocking = "blocking"
+	KindResult   = "result"
+)
+
+// Key identifies a cached entry by content: everything the cached value
+// depends on goes into the hash, so a change to any component makes old
+// entries unreachable instead of stale.
+type Key struct {
+	// Arch is the microarchitecture generation name.
+	Arch string
+	// Measure is the measurement-protocol configuration the results were
+	// obtained with.
+	Measure measure.Config
+	// Variants is the full ISA variant set of the generation (the universe
+	// the computation ran over). Order does not matter; the hash sorts a
+	// copy.
+	Variants []string
+	// Scope distinguishes computations over the same universe, e.g. the
+	// characterization options of a run.
+	Scope string
+}
+
+// filename derives the store filename for a kind from the key's content
+// hash.
+func (k Key) filename(kind string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "store-v%d\nkind=%s\narch=%s\nscope=%s\n", Version, kind, k.Arch, k.Scope)
+	fmt.Fprintf(h, "measure short=%d long=%d rep=%d warmup=%v overheadCycles=%d overheadUops=%d\n",
+		k.Measure.ShortCopies, k.Measure.LongCopies, k.Measure.Repetitions,
+		k.Measure.Warmup, k.Measure.OverheadCycles, k.Measure.OverheadUops)
+	variants := append([]string(nil), k.Variants...)
+	sort.Strings(variants)
+	for _, v := range variants {
+		fmt.Fprintf(h, "variant=%s\n", v)
+	}
+	return fmt.Sprintf("%s-%x.json", kind, h.Sum(nil)[:16])
+}
+
+// envelope is the on-disk wrapper around every payload.
+type envelope struct {
+	Version int             `json:"version"`
+	Kind    string          `json:"kind"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Store is a directory of cached characterization results.
+type Store struct {
+	dir string
+}
+
+// Open returns a store rooted at dir, creating the directory if necessary.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: opening %s: %w", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// load reads and validates an entry, decoding the payload into out. Any
+// failure is a miss.
+func (s *Store) load(kind string, key Key, out interface{}) bool {
+	data, err := os.ReadFile(filepath.Join(s.dir, key.filename(kind)))
+	if err != nil {
+		return false
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return false
+	}
+	if env.Version != Version || env.Kind != kind {
+		return false
+	}
+	return json.Unmarshal(env.Payload, out) == nil
+}
+
+// save writes an entry atomically: the envelope is written to a temporary
+// file in the store directory and renamed into place, so concurrent readers
+// never observe a partial file.
+func (s *Store) save(kind string, key Key, payload interface{}) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("store: encoding %s entry: %w", kind, err)
+	}
+	data, err := json.Marshal(envelope{Version: Version, Kind: kind, Payload: raw})
+	if err != nil {
+		return fmt.Errorf("store: encoding %s envelope: %w", kind, err)
+	}
+	tmp, err := os.CreateTemp(s.dir, kind+"-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: writing %s entry: %w", kind, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing %s entry: %w", kind, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing %s entry: %w", kind, err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, key.filename(kind))); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing %s entry: %w", kind, err)
+	}
+	return nil
+}
+
+// BlockingEntry is the serialized form of one blocking instruction: the
+// instruction is stored by variant name and rehydrated against the target
+// generation's instruction set.
+type BlockingEntry struct {
+	Combo       string  `json:"combo"`
+	Instr       string  `json:"instr"`
+	Ports       []int   `json:"ports"`
+	Throughput  float64 `json:"throughput,omitempty"`
+	UopsOnCombo float64 `json:"uopsOnCombo"`
+}
+
+// BlockingRecord is the serialized form of a core.BlockingSet.
+type BlockingRecord struct {
+	SSE []BlockingEntry `json:"sse"`
+	AVX []BlockingEntry `json:"avx"`
+}
+
+// recordEntries flattens one combination map, sorted by combination key so
+// the serialized form is deterministic.
+func recordEntries(m map[string]core.BlockingInstr) []BlockingEntry {
+	entries := make([]BlockingEntry, 0, len(m))
+	for combo, b := range m {
+		entries = append(entries, BlockingEntry{
+			Combo:       combo,
+			Instr:       b.Instr.Name,
+			Ports:       b.Ports,
+			Throughput:  b.Throughput,
+			UopsOnCombo: b.UopsOnCombo,
+		})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Combo < entries[j].Combo })
+	return entries
+}
+
+// RecordBlocking converts a blocking set into its serialized form.
+func RecordBlocking(bs *core.BlockingSet) *BlockingRecord {
+	return &BlockingRecord{SSE: recordEntries(bs.SSE), AVX: recordEntries(bs.AVX)}
+}
+
+// Restore rehydrates the record against an instruction set. It reports ok ==
+// false if any recorded variant no longer exists in the set (the record then
+// belongs to a different ISA and must be recomputed).
+func (r *BlockingRecord) Restore(set *isa.Set) (*core.BlockingSet, bool) {
+	restore := func(entries []BlockingEntry) (map[string]core.BlockingInstr, bool) {
+		m := make(map[string]core.BlockingInstr, len(entries))
+		for _, e := range entries {
+			in := set.Lookup(e.Instr)
+			if in == nil {
+				return nil, false
+			}
+			m[e.Combo] = core.BlockingInstr{
+				Instr:       in,
+				Ports:       e.Ports,
+				Throughput:  e.Throughput,
+				UopsOnCombo: e.UopsOnCombo,
+			}
+		}
+		return m, true
+	}
+	sse, ok := restore(r.SSE)
+	if !ok {
+		return nil, false
+	}
+	avx, ok := restore(r.AVX)
+	if !ok {
+		return nil, false
+	}
+	return &core.BlockingSet{SSE: sse, AVX: avx}, true
+}
+
+// LoadBlocking returns the cached blocking record for the key, or ok ==
+// false on any kind of miss.
+func (s *Store) LoadBlocking(key Key) (*BlockingRecord, bool) {
+	var rec BlockingRecord
+	if !s.load(KindBlocking, key, &rec) {
+		return nil, false
+	}
+	return &rec, true
+}
+
+// SaveBlocking persists a blocking record under the key.
+func (s *Store) SaveBlocking(key Key, rec *BlockingRecord) error {
+	return s.save(KindBlocking, key, rec)
+}
+
+// LoadResult returns the cached characterization result for the key, or ok
+// == false on any kind of miss. The result round-trips exactly: float64
+// values are encoded with full round-trip precision, so XML rendered from a
+// cached result is byte-identical to XML rendered from the original.
+func (s *Store) LoadResult(key Key) (*core.ArchResult, bool) {
+	var res core.ArchResult
+	if !s.load(KindResult, key, &res) {
+		return nil, false
+	}
+	if res.Results == nil {
+		return nil, false
+	}
+	return &res, true
+}
+
+// SaveResult persists a characterization result under the key.
+func (s *Store) SaveResult(key Key, res *core.ArchResult) error {
+	return s.save(KindResult, key, res)
+}

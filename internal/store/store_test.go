@@ -1,0 +1,234 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"uopsinfo/internal/core"
+	"uopsinfo/internal/measure"
+	"uopsinfo/internal/uarch"
+)
+
+func testKey(scope string) Key {
+	return Key{
+		Arch:     "Skylake",
+		Measure:  measure.DefaultConfig(),
+		Variants: []string{"ADD_R64_R64", "IMUL_R64_R64", "PXOR_XMM_XMM"},
+		Scope:    scope,
+	}
+}
+
+func openStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestKeyHashSensitivity(t *testing.T) {
+	base := testKey("blocking")
+	same := testKey("blocking")
+	// The variant order must not matter.
+	same.Variants = []string{"PXOR_XMM_XMM", "ADD_R64_R64", "IMUL_R64_R64"}
+	if base.filename(KindBlocking) != same.filename(KindBlocking) {
+		t.Error("variant order changed the key hash")
+	}
+	mutations := map[string]Key{}
+	k := testKey("blocking")
+	k.Arch = "Haswell"
+	mutations["arch"] = k
+	k = testKey("blocking")
+	k.Scope = "result"
+	mutations["scope"] = k
+	k = testKey("blocking")
+	k.Measure.Repetitions = 7
+	mutations["measure config"] = k
+	k = testKey("blocking")
+	k.Variants = append(k.Variants, "SHL_R64_I8")
+	mutations["variant set"] = k
+	for what, mk := range mutations {
+		if mk.filename(KindBlocking) == base.filename(KindBlocking) {
+			t.Errorf("changing the %s did not change the key hash", what)
+		}
+	}
+	if base.filename(KindBlocking) == base.filename(KindResult) {
+		t.Error("blocking and result entries share a filename")
+	}
+}
+
+func TestBlockingRoundTrip(t *testing.T) {
+	set := uarch.Get(uarch.Skylake).InstrSet()
+	bs := &core.BlockingSet{
+		SSE: map[string]core.BlockingInstr{
+			"0156": {Instr: set.Lookup("ADD_R64_R64"), Ports: []int{0, 1, 5, 6}, Throughput: 0.25, UopsOnCombo: 1},
+			"4":    {Instr: set.Lookup("MOV_M64_R64"), Ports: []int{4}, UopsOnCombo: 1},
+		},
+		AVX: map[string]core.BlockingInstr{
+			"5": {Instr: set.Lookup("VPSHUFD_XMM_XMM_I8"), Ports: []int{5}, Throughput: 1, UopsOnCombo: 1},
+		},
+	}
+	for name, b := range bs.SSE {
+		if b.Instr == nil {
+			t.Fatalf("test setup: SSE %s variant missing from Skylake", name)
+		}
+	}
+	for name, b := range bs.AVX {
+		if b.Instr == nil {
+			t.Fatalf("test setup: AVX %s variant missing from Skylake", name)
+		}
+	}
+
+	s := openStore(t)
+	key := testKey("blocking")
+	if err := s.SaveBlocking(key, RecordBlocking(bs)); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := s.LoadBlocking(key)
+	if !ok {
+		t.Fatal("saved blocking record not found")
+	}
+	got, ok := rec.Restore(set)
+	if !ok {
+		t.Fatal("restore against the same instruction set failed")
+	}
+	if !reflect.DeepEqual(got, bs) {
+		t.Errorf("blocking set did not round-trip:\ngot  %+v\nwant %+v", got, bs)
+	}
+
+	// Restoring against a set without the recorded variants must miss, not
+	// fabricate entries: VPSHUFD does not exist on Nehalem.
+	if _, ok := rec.Restore(uarch.Get(uarch.Nehalem).InstrSet()); ok {
+		t.Error("restore against a different ISA should fail")
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	res := core.NewArchResult("Skylake")
+	res.Results["ADD_R64_R64"] = &core.InstrResult{
+		Name:     "ADD_R64_R64",
+		Mnemonic: "ADD",
+		Uops:     1,
+		Ports:    core.PortUsage{"0156": 1},
+		Latency: core.LatencyResult{Pairs: []core.OperandPairLatency{
+			{Source: 1, Dest: 0, SourceName: "op2", DestName: "op1", Cycles: 1.0 / 3.0, Notes: "chain"},
+			{Source: 0, Dest: 0, SourceName: "op1", DestName: "op1", Cycles: 1, SameRegister: true},
+		}},
+		Throughput: core.ThroughputResult{Measured: 0.25, MeasuredSequenceLength: 8, Computed: 0.1 + 0.2},
+	}
+	res.Results["CPUID"] = &core.InstrResult{Name: "CPUID", Mnemonic: "CPUID", Skipped: "system instruction"}
+
+	s := openStore(t)
+	key := testKey("result only=ADD_R64_R64")
+	if err := s.SaveResult(key, res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.LoadResult(key)
+	if !ok {
+		t.Fatal("saved result not found")
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Errorf("result did not round-trip (float precision?):\ngot  %+v\nwant %+v", got, res)
+	}
+	// A different scope must miss.
+	if _, ok := s.LoadResult(testKey("result only=IMUL_R64_R64")); ok {
+		t.Error("result found under a different scope")
+	}
+}
+
+// TestCorruptAndMismatchedFilesAreMisses checks the silent fall-through: a
+// truncated file, non-JSON garbage, a version bump and a kind mismatch must
+// all read as plain misses rather than errors.
+func TestCorruptAndMismatchedFilesAreMisses(t *testing.T) {
+	s := openStore(t)
+	key := testKey("result")
+	res := core.NewArchResult("Skylake")
+	res.Results["ADD_R64_R64"] = &core.InstrResult{Name: "ADD_R64_R64", Mnemonic: "ADD"}
+	if err := s.SaveResult(key, res); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(s.Dir(), key.filename(KindResult))
+
+	write := func(data []byte) {
+		t.Helper()
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	write([]byte("not json at all"))
+	if _, ok := s.LoadResult(key); ok {
+		t.Error("garbage file was not treated as a miss")
+	}
+
+	// Re-save to get a valid file for the truncation/version/kind checks.
+	if err := s.SaveResult(key, res); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(data[:len(data)/2])
+	if _, ok := s.LoadResult(key); ok {
+		t.Error("truncated file was not treated as a miss")
+	}
+
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	env.Version = Version + 1
+	bumped, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(bumped)
+	if _, ok := s.LoadResult(key); ok {
+		t.Error("future-version file was not treated as a miss")
+	}
+
+	env.Version = Version
+	env.Kind = KindBlocking
+	wrongKind, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(wrongKind)
+	if _, ok := s.LoadResult(key); ok {
+		t.Error("kind-mismatched file was not treated as a miss")
+	}
+
+	// After recomputation the entry can be re-saved over the corrupt file.
+	if err := s.SaveResult(key, res); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.LoadResult(key); !ok || !reflect.DeepEqual(got, res) {
+		t.Error("re-saving over a corrupt file did not recover the entry")
+	}
+}
+
+// TestSaveLeavesNoTempFiles checks the atomic-write path cleans up after
+// itself: after a save, the directory contains only the final entry.
+func TestSaveLeavesNoTempFiles(t *testing.T) {
+	s := openStore(t)
+	key := testKey("blocking")
+	if err := s.SaveBlocking(key, &BlockingRecord{}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != key.filename(KindBlocking) {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Errorf("store directory contains %v, want exactly [%s]", names, key.filename(KindBlocking))
+	}
+}
