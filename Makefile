@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-smoke fmt fmt-check ci
+.PHONY: build test vet race bench bench-smoke fmt fmt-check ci ci-cmd
 
 build:
 	$(GO) build ./...
@@ -30,7 +30,17 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# ci-cmd re-runs the command-level cache determinism tests (mixed warm/cold
+# and incremental per-variant eviction) under the race detector and checks
+# that the backend registry lists the default pipesim backend through the
+# actual CLI surface.
+ci-cmd:
+	$(GO) test -race -run 'TestCacheColdWarmByteIdentical|TestCacheIncrementalEviction' ./cmd/uopsinfo
+	$(GO) run ./cmd/uopsinfo -backends | grep -q '^pipesim' || \
+		{ echo "uopsinfo -backends does not list pipesim"; exit 1; }
+
 # ci is the gate for every change: formatting and static checks, the full
 # test suite under the race detector (the characterization scheduler and the
-# engine are concurrent), and a one-iteration pass over every benchmark.
-ci: fmt-check vet race bench-smoke
+# engine are concurrent), a one-iteration pass over every benchmark, and the
+# command-level cache/backend checks.
+ci: fmt-check vet race bench-smoke ci-cmd

@@ -11,10 +11,12 @@
 //	echo 'ADD RAX, RBX' | analyze -arch Haswell
 //
 // The measurement stack is built by the characterization engine, so analyze
-// shares the -j / -cache configuration surface of the other tools. A kernel
-// analysis is a single direct simulation, which the store does not cache
-// yet, so today the flags only configure the engine; they are accepted for
-// interface consistency and for when direct measurements become cacheable.
+// shares the -j / -cache / -backend configuration surface of the other
+// tools; -backend selects which registered execution substrate runs the
+// kernel. A kernel analysis is a single direct measurement, which the store
+// does not cache yet, so -j and -cache only configure the engine; they are
+// accepted for interface consistency and for when direct measurements become
+// cacheable.
 package main
 
 import (
@@ -38,6 +40,7 @@ func main() {
 	archName := flag.String("arch", "Skylake", "microarchitecture generation")
 	jobs := flag.Int("j", runtime.NumCPU(), "total number of parallel workers")
 	cacheDir := flag.String("cache", "", "directory of the persistent result store")
+	backend := flag.String("backend", "", "measurement backend to run on (default: pipesim)")
 	flag.Parse()
 
 	arch, err := uarch.ByName(*archName)
@@ -70,11 +73,14 @@ func main() {
 			uarch.FormatPortUsage(perf.PortUsage()))
 	}
 
-	eng, err := engine.New(engine.Config{Workers: *jobs, CacheDir: *cacheDir})
+	eng, err := engine.New(engine.Config{Workers: *jobs, CacheDir: *cacheDir, Backend: *backend})
 	if err != nil {
 		log.Fatal(err)
 	}
-	h := eng.Harness(arch.Gen())
+	h, err := eng.Harness(arch.Gen())
+	if err != nil {
+		log.Fatal(err)
+	}
 	res, err := h.Measure(seq)
 	if err != nil {
 		log.Fatal(err)

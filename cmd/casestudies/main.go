@@ -6,12 +6,12 @@
 //
 // Usage:
 //
-//	casestudies [-id 7.3.1] [-j 8] [-cache DIR]
+//	casestudies [-id 7.3.1] [-j 8] [-cache DIR] [-backend pipesim]
 //
 // With -j > 1 the per-generation characterizers (whose
 // blocking-instruction discovery dominates the runtime) are built
 // concurrently by the characterization engine; -cache reuses blocking sets
-// across invocations.
+// across invocations, and -backend selects the measurement backend.
 package main
 
 import (
@@ -31,9 +31,10 @@ func main() {
 	id := flag.String("id", "", `run only the case study with this identifier (e.g. "7.3.1"); default: all`)
 	jobs := flag.Int("j", runtime.NumCPU(), "total number of parallel workers (1 = fully sequential)")
 	cacheDir := flag.String("cache", "", "directory of the persistent result store")
+	backend := flag.String("backend", "", "measurement backend to run on (default: pipesim)")
 	flag.Parse()
 
-	eng, err := engine.New(engine.Config{Workers: *jobs, CacheDir: *cacheDir})
+	eng, err := engine.New(engine.Config{Workers: *jobs, CacheDir: *cacheDir, Backend: *backend})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,12 +5,12 @@
 //
 // Usage:
 //
-//	iacadiff [-arch Skylake] [-sample 20] [-j 8] [-cache DIR]
+//	iacadiff [-arch Skylake] [-sample 20] [-j 8] [-cache DIR] [-backend pipesim]
 //
 // With -j > 1 the characterizers for the chosen generation and for the
 // generations of the named discrepancy examples are prewarmed concurrently
 // by the characterization engine; -cache reuses blocking sets across
-// invocations.
+// invocations, and -backend selects the measurement backend.
 package main
 
 import (
@@ -33,6 +33,7 @@ func main() {
 	sample := flag.Int("sample", 20, "compare every n-th eligible instruction variant (1 = all)")
 	jobs := flag.Int("j", runtime.NumCPU(), "total number of parallel workers (1 = fully sequential)")
 	cacheDir := flag.String("cache", "", "directory of the persistent result store")
+	backend := flag.String("backend", "", "measurement backend to run on (default: pipesim)")
 	flag.Parse()
 
 	arch, err := uarch.ByName(*archName)
@@ -45,7 +46,7 @@ func main() {
 	}
 	fmt.Printf("IACA versions supporting %s: %s\n\n", arch.Name(), iaca.DescribeVersions(arch.Gen()))
 
-	eng, err := engine.New(engine.Config{Workers: *jobs, CacheDir: *cacheDir})
+	eng, err := engine.New(engine.Config{Workers: *jobs, CacheDir: *cacheDir, Backend: *backend})
 	if err != nil {
 		log.Fatal(err)
 	}

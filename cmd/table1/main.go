@@ -5,11 +5,12 @@
 //
 // Usage:
 //
-//	table1 [-sample 20] [-arch "Skylake"] [-j 8] [-cache DIR]
+//	table1 [-sample 20] [-arch "Skylake"] [-j 8] [-cache DIR] [-backend pipesim]
 //
 // With -j > 1 the generations are compared concurrently on stacks built by
 // the characterization engine; -cache reuses blocking sets discovered by
-// earlier runs of any tool sharing the store.
+// earlier runs of any tool sharing the store, and -backend selects the
+// measurement backend the comparison measures on.
 package main
 
 import (
@@ -32,9 +33,14 @@ func main() {
 	verbose := flag.Bool("v", false, "print progress")
 	jobs := flag.Int("j", runtime.NumCPU(), "total number of parallel workers (1 = fully sequential)")
 	cacheDir := flag.String("cache", "", "directory of the persistent result store")
+	backend := flag.String("backend", "", "measurement backend to run on (default: pipesim)")
 	flag.Parse()
 
-	eng, err := engine.New(engine.Config{Workers: *jobs, CacheDir: *cacheDir})
+	ecfg := engine.Config{Workers: *jobs, CacheDir: *cacheDir, Backend: *backend}
+	if *verbose {
+		ecfg.Log = log.Printf
+	}
+	eng, err := engine.New(ecfg)
 	if err != nil {
 		log.Fatal(err)
 	}

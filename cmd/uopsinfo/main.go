@@ -5,17 +5,21 @@
 //
 // Usage:
 //
-//	uopsinfo [-arch "Skylake"] [-out results.xml] [-sample 20] [-only ADD_R64_R64,IMUL_R64_R64] [-quick] [-j 8] [-cache DIR]
+//	uopsinfo [-arch "Skylake"] [-out results.xml] [-sample 20] [-only ADD_R64_R64,IMUL_R64_R64] [-quick] [-j 8] [-cache DIR] [-backend pipesim]
 //
 // The -j flag sets the total number of parallel workers (default: the number
 // of CPUs). Architectures are characterized concurrently and, within each
 // architecture, blocking-instruction discovery and the instruction variants
-// are sharded across per-worker simulator/harness stacks; the worker budget
-// is split between the two levels. The -cache flag points at a persistent
-// result store: discovered blocking sets and characterization results are
-// reused across invocations, and corrupt or stale entries silently fall back
-// to recomputation. The output XML is byte-identical regardless of -j and of
-// cache state: results are merged deterministically and sorted before
+// are sharded across per-worker runner/harness stacks; the worker budget is
+// split between the two levels. The -backend flag selects the measurement
+// backend (the execution substrate) from the registry; -backends lists the
+// registered backends and exits. The -cache flag points at a persistent
+// result store: discovered blocking sets, whole-ISA results and individual
+// per-variant measurements are reused across invocations (keyed by the
+// backend fingerprint among other inputs), corrupt or stale entries silently
+// fall back to recomputation, and a partially evicted store re-measures only
+// the missing variants. The output XML is byte-identical regardless of -j
+// and of cache state: results are merged deterministically and sorted before
 // writing.
 package main
 
@@ -33,6 +37,7 @@ import (
 
 	"uopsinfo/internal/engine"
 	"uopsinfo/internal/iaca"
+	"uopsinfo/internal/measure"
 	"uopsinfo/internal/uarch"
 	"uopsinfo/internal/xmlout"
 )
@@ -62,6 +67,8 @@ type config struct {
 	verbose  bool
 	jobs     int
 	cache    string
+	backend  string
+	backends bool
 }
 
 // run parses the arguments and executes the characterization pipeline. It is
@@ -77,7 +84,9 @@ func run(args []string, stdout io.Writer, logger *log.Logger) error {
 	fs.BoolVar(&cfg.quick, "quick", false, "skip the per-operand-pair latency measurements")
 	fs.BoolVar(&cfg.verbose, "v", false, "print progress")
 	fs.IntVar(&cfg.jobs, "j", runtime.NumCPU(), "total number of parallel workers (1 = fully sequential)")
-	fs.StringVar(&cfg.cache, "cache", "", "directory of the persistent result store (blocking sets and results are reused across runs)")
+	fs.StringVar(&cfg.cache, "cache", "", "directory of the persistent result store (blocking sets, results and per-variant records are reused across runs)")
+	fs.StringVar(&cfg.backend, "backend", "", `measurement backend to run on (default: "`+measure.DefaultBackend+`"; see -backends)`)
+	fs.BoolVar(&cfg.backends, "backends", false, "list the registered measurement backends and exit")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -86,6 +95,13 @@ func run(args []string, stdout io.Writer, logger *log.Logger) error {
 	}
 	if cfg.jobs < 1 {
 		cfg.jobs = 1
+	}
+	if cfg.backends {
+		for _, name := range measure.Names() {
+			b, _ := measure.Lookup(name)
+			fmt.Fprintf(stdout, "%s\tversion %s\n", name, b.Version())
+		}
+		return nil
 	}
 
 	var archs []*uarch.Arch
@@ -99,13 +115,14 @@ func run(args []string, stdout io.Writer, logger *log.Logger) error {
 		archs = []*uarch.Arch{a}
 	}
 
-	ecfg := engine.Config{Workers: cfg.jobs, CacheDir: cfg.cache}
+	ecfg := engine.Config{Workers: cfg.jobs, CacheDir: cfg.cache, Backend: cfg.backend}
 	if cfg.verbose {
 		ecfg.BlockingProgress = func(gen uarch.Generation, done, total int, name string) {
 			if done%50 == 0 || done == total {
 				logger.Printf("%s: blocking discovery %d/%d (%s)", gen, done, total, name)
 			}
 		}
+		ecfg.Log = logger.Printf
 	}
 	eng, err := engine.New(ecfg)
 	if err != nil {
@@ -141,6 +158,13 @@ func run(args []string, stdout io.Writer, logger *log.Logger) error {
 	wg.Wait()
 	if err := errors.Join(errs...); err != nil {
 		return err
+	}
+
+	if cfg.verbose {
+		st := eng.Stats()
+		logger.Printf("backend %s version %s: %d result hits, %d variant hits, %d variants measured, %d blocking hits, %d save errors",
+			eng.Backend().Name(), eng.Backend().Version(),
+			st.ResultHits, st.VariantHits, st.VariantsMeasured, st.BlockingHits, st.SaveErrors)
 	}
 
 	doc := &xmlout.Document{Architectures: results}

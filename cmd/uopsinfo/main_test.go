@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
 	"testing"
 
 	"uopsinfo/internal/xmlout"
@@ -125,5 +128,87 @@ func TestCacheColdWarmByteIdentical(t *testing.T) {
 	plain := runPipeline(t, "-arch", "Skylake", "-only", only, "-j", "4")
 	if !bytes.Equal(plain, cold) {
 		t.Error("cached output differs from a cacheless run")
+	}
+}
+
+// TestCacheIncrementalEviction is the command-level incremental-cache
+// guarantee (mixed warm/cold): after evicting the whole-ISA entry and a
+// strict subset of the per-variant entries, a warm run — which re-measures
+// only the evicted variants and serves the rest from the store — must emit
+// XML byte-identical to the cold run, for worker counts 1, 4 and NumCPU.
+func TestCacheIncrementalEviction(t *testing.T) {
+	cache := t.TempDir()
+	only := "ADD_R64_R64,IMUL_R64_R64,PXOR_XMM_XMM,MOV_R64_M64,DIV_R64"
+	cold := runPipeline(t, "-arch", "Skylake", "-only", only, "-j", "4", "-cache", cache)
+
+	evict := func(prefix string, max int) int {
+		t.Helper()
+		entries, err := os.ReadDir(cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		removed := 0
+		for _, ent := range entries {
+			if !strings.HasPrefix(ent.Name(), prefix+"-") || removed == max {
+				continue
+			}
+			if err := os.Remove(filepath.Join(cache, ent.Name())); err != nil {
+				t.Fatal(err)
+			}
+			removed++
+		}
+		return removed
+	}
+
+	for _, j := range []int{1, 4, runtime.NumCPU()} {
+		// Each iteration starts from the fully warm store the previous run
+		// left behind and evicts the whole-ISA result plus two variants.
+		if n := evict("result", -1); n == 0 {
+			t.Fatal("no whole-ISA result entry to evict")
+		}
+		if n := evict("variant", 2); n != 2 {
+			t.Fatalf("evicted %d per-variant entries, want 2", n)
+		}
+		warm := runPipeline(t, "-arch", "Skylake", "-only", only, "-j", fmt.Sprint(j), "-cache", cache)
+		if !bytes.Equal(warm, cold) {
+			t.Errorf("-j %d: incrementally warmed output differs from the cold run (%d vs %d bytes)",
+				j, len(warm), len(cold))
+		}
+	}
+}
+
+// TestBackendsFlag checks uopsinfo -backends lists the default pipesim
+// backend with a version fingerprint, and that an unknown -backend fails
+// with an error naming the registered backends.
+func TestBackendsFlag(t *testing.T) {
+	var stdout bytes.Buffer
+	if err := run([]string{"-backends"}, &stdout, log.New(io.Discard, "", 0)); err != nil {
+		t.Fatal(err)
+	}
+	listed := false
+	for _, line := range strings.Split(stdout.String(), "\n") {
+		if strings.HasPrefix(line, "pipesim\t") && strings.Contains(line, "version") {
+			listed = true
+		}
+	}
+	if !listed {
+		t.Errorf("-backends output does not list pipesim with a version:\n%s", stdout.String())
+	}
+
+	err := run([]string{"-backend", "no-such-substrate", "-only", "ADD_R64_R64"},
+		io.Discard, log.New(io.Discard, "", 0))
+	if err == nil || !strings.Contains(err.Error(), "pipesim") {
+		t.Errorf("unknown -backend error = %v, want one listing the registered backends", err)
+	}
+}
+
+// TestExplicitBackendFlagMatchesDefault checks -backend pipesim is the same
+// substrate as the default.
+func TestExplicitBackendFlagMatchesDefault(t *testing.T) {
+	only := "ADD_R64_R64,IMUL_R64_R64"
+	base := runPipeline(t, "-arch", "Skylake", "-only", only, "-j", "2")
+	explicit := runPipeline(t, "-arch", "Skylake", "-only", only, "-j", "2", "-backend", "pipesim")
+	if !bytes.Equal(base, explicit) {
+		t.Error("-backend pipesim output differs from the default backend")
 	}
 }

@@ -142,19 +142,57 @@ func (c *Characterizer) characterizeInstr(in *isa.Instr, opts Options) (*InstrRe
 // that many independent characterization stacks (see scheduler.go); the
 // blocking-instruction set is discovered once and shared read-only.
 func (c *Characterizer) CharacterizeAll(opts Options) (*ArchResult, error) {
-	if err := c.ensureBlockingWith(opts); err != nil {
-		return nil, err
-	}
+	return c.CharacterizeResume(opts, nil)
+}
+
+// CharacterizeResume is the partial-results entry point of the scheduler:
+// it characterizes only the variants of the selection that are missing from
+// partial (a map of variant name to an already-measured record, e.g. loaded
+// from a persistent per-variant cache) and merges the partial records into
+// the returned result. Because every variant's measurement is independent of
+// stack history, a resumed run is identical to a cold run over the same
+// selection. Partial entries outside the selection are ignored; the Progress
+// callback counts only the variants actually measured. A nil or empty
+// partial map degenerates to CharacterizeAll.
+func (c *Characterizer) CharacterizeResume(opts Options, partial map[string]*InstrResult) (*ArchResult, error) {
 	instrs, err := c.resolveInstrs(opts)
 	if err != nil {
 		return nil, err
 	}
-	workers := opts.Workers
-	if workers < 0 {
-		workers = DefaultWorkers()
+	missing := instrs
+	if len(partial) > 0 {
+		missing = missing[:0:0]
+		for _, in := range instrs {
+			if partial[in.Name] == nil {
+				missing = append(missing, in)
+			}
+		}
 	}
-	if workers > 1 && len(instrs) > 1 {
-		return c.characterizeParallel(instrs, opts, workers)
+	out := NewArchResult(c.gen.arch.Name())
+	if len(missing) > 0 {
+		// Blocking discovery — the dominant sequential cost of a run — is
+		// only needed when something is actually measured, so a fully
+		// covered resume is a pure merge.
+		if err := c.ensureBlockingWith(opts); err != nil {
+			return nil, err
+		}
+		workers := opts.Workers
+		if workers < 0 {
+			workers = DefaultWorkers()
+		}
+		if workers > 1 && len(missing) > 1 {
+			out, err = c.characterizeParallel(missing, opts, workers)
+		} else {
+			out, err = c.characterizeSequential(missing, opts)
+		}
+		if err != nil {
+			return nil, err
+		}
 	}
-	return c.characterizeSequential(instrs, opts)
+	for _, in := range instrs {
+		if rec := partial[in.Name]; rec != nil && out.Results[in.Name] == nil {
+			out.Results[in.Name] = rec
+		}
+	}
+	return out, nil
 }

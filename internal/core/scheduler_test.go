@@ -131,6 +131,76 @@ func TestNegativeWorkersUsesDefault(t *testing.T) {
 	}
 }
 
+// TestCharacterizeResume checks the partial-results entry point: a run
+// resumed from a subset of cached records measures only the missing variants
+// and merges to a result identical to a cold run, for sequential and sharded
+// scheduling.
+func TestCharacterizeResume(t *testing.T) {
+	c := charFor(t, uarch.Skylake)
+	only := []string{"ADD_R64_R64", "IMUL_R64_R64", "PXOR_XMM_XMM", "MOV_R64_M64", "SHLD_R64_R64_I8"}
+	want, err := c.CharacterizeAll(Options{Only: only, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := map[string]*InstrResult{
+		"ADD_R64_R64":  want.Results["ADD_R64_R64"],
+		"PXOR_XMM_XMM": want.Results["PXOR_XMM_XMM"],
+		// An entry outside the selection must be ignored, not merged in.
+		"XOR_R64_R64": {Name: "XOR_R64_R64", Mnemonic: "XOR"},
+	}
+	for _, workers := range []int{1, 4} {
+		var measured []string
+		got, err := c.CharacterizeResume(Options{
+			Only:    only,
+			Workers: workers,
+			Progress: func(done, total int, name string) {
+				if total != len(only)-2 {
+					t.Errorf("workers=%d: progress total = %d, want the %d missing variants", workers, total, len(only)-2)
+				}
+				measured = append(measured, name)
+			},
+		}, partial)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got.Results) != len(only) {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(got.Results), len(only))
+		}
+		if got.Results["XOR_R64_R64"] != nil {
+			t.Errorf("workers=%d: out-of-selection partial entry leaked into the result", workers)
+		}
+		if len(measured) != len(only)-2 {
+			t.Errorf("workers=%d: measured %d variants (%v), want %d", workers, len(measured), measured, len(only)-2)
+		}
+		for _, name := range measured {
+			if partial[name] != nil {
+				t.Errorf("workers=%d: cached variant %s was re-measured", workers, name)
+			}
+		}
+		for _, name := range only {
+			if !reflect.DeepEqual(got.Results[name], want.Results[name]) {
+				t.Errorf("workers=%d: %s differs from the cold run:\ngot  %+v\nwant %+v",
+					workers, name, got.Results[name], want.Results[name])
+			}
+		}
+	}
+
+	// Resuming with full coverage measures nothing.
+	full := map[string]*InstrResult{}
+	for _, name := range only {
+		full[name] = want.Results[name]
+	}
+	got, err := c.CharacterizeResume(Options{Only: only, Workers: 4, Progress: func(done, total int, name string) {
+		t.Errorf("fully covered resume measured %s", name)
+	}}, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Results, want.Results) {
+		t.Error("fully covered resume does not reproduce the cold result")
+	}
+}
+
 // opaqueRunner wraps a Machine without exposing a fork path, to test the
 // sequential fallback of the parallel scheduler.
 type opaqueRunner struct{ *pipesim.Machine }

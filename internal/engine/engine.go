@@ -1,15 +1,17 @@
 // Package engine is the single entry point for building and running
-// characterization stacks. It owns the construction of the
-// simulator/harness/characterizer tower for a microarchitecture generation,
-// the sharding budget for parallel runs, and the persistent result store, so
-// that every command-line tool gets the same -j / -cache behaviour from the
-// same code path instead of assembling the layers by hand.
+// characterization stacks. It owns the selection of the measurement backend
+// (the execution substrate, resolved from the measure package's backend
+// registry), the construction of the runner/harness/characterizer tower for
+// a microarchitecture generation, the sharding budget for parallel runs, and
+// the persistent result store, so that every command-line tool gets the same
+// -j / -cache / -backend behaviour from the same code path instead of
+// assembling the layers by hand.
 //
 // The engine guarantees the layer's determinism contract end to end: blocking
 // discovery and per-variant characterization are sharded across forked worker
 // stacks with deterministic merges, and cached results round-trip exactly, so
-// the emitted XML is byte-identical for any worker count and for cold vs.
-// warm caches.
+// the emitted XML is byte-identical for any worker count, any backend, and
+// any cold/warm/partially-warm cache state.
 package engine
 
 import (
@@ -20,7 +22,6 @@ import (
 
 	"uopsinfo/internal/core"
 	"uopsinfo/internal/measure"
-	"uopsinfo/internal/pipesim"
 	"uopsinfo/internal/store"
 	"uopsinfo/internal/uarch"
 )
@@ -33,26 +34,65 @@ type Config struct {
 	// core.DefaultWorkers() (one worker per CPU).
 	Workers int
 	// CacheDir, if non-empty, enables the persistent result store rooted at
-	// that directory: discovered blocking sets and characterization results
-	// are reused across process runs. Misses and corrupt entries silently
-	// fall through to recomputation.
+	// that directory: discovered blocking sets, whole-ISA results and
+	// per-variant measurements are reused across process runs. Misses and
+	// corrupt entries silently fall through to recomputation.
 	CacheDir string
+	// Backend names the measurement backend (execution substrate) to build
+	// runners from, as registered in the measure package's backend registry.
+	// Empty selects measure.DefaultBackend; an unregistered name makes New
+	// fail with an error listing the registered backends.
+	Backend string
 	// Measure is the measurement-protocol configuration for every harness
 	// the engine builds. The zero value selects measure.DefaultConfig().
 	Measure measure.Config
 	// BlockingProgress, if non-nil, is called after each candidate during
 	// blocking-instruction discovery of any generation.
 	BlockingProgress func(gen uarch.Generation, done, total int, name string)
+	// Log, if non-nil, receives diagnostics that must not fail a run but
+	// should not vanish either — most importantly persistent-store save
+	// errors, which are otherwise only counted in Stats. The CLI tools wire
+	// it to their logger under -v.
+	Log func(format string, args ...interface{})
+}
+
+// Stats are cumulative counters of the engine's cache and measurement
+// activity since New. They make cache behaviour observable: a warm
+// incremental run reports variant hits for the cached entries and measures
+// only the missing ones.
+type Stats struct {
+	// BlockingHits and BlockingMisses count blocking-set store lookups.
+	BlockingHits, BlockingMisses int
+	// ResultHits and ResultMisses count whole-ISA result store lookups.
+	ResultHits, ResultMisses int
+	// VariantHits is the number of per-variant records served from the
+	// store; VariantsMeasured is the number of variants actually measured
+	// (store misses, or all requested variants when no store is configured).
+	VariantHits, VariantsMeasured int
+	// SaveErrors counts failed store writes. The computed result always
+	// wins over a failed write — the next run simply recomputes — but the
+	// failures are counted here and logged through Config.Log instead of
+	// being dropped.
+	SaveErrors int
 }
 
 // Engine builds and caches one characterization stack per generation.
 type Engine struct {
-	cfg  Config
-	mcfg measure.Config
-	st   *store.Store
+	cfg     Config
+	mcfg    measure.Config
+	backend measure.Backend
+	st      *store.Store
 
 	mu    sync.Mutex
 	chars map[uarch.Generation]*charEntry
+
+	// idxMu serializes read-merge-write updates of per-variant indexes, so
+	// concurrent generations (or concurrent runs of one engine) cannot lose
+	// each other's index entries.
+	idxMu sync.Mutex
+
+	statsMu sync.Mutex
+	stats   Stats
 }
 
 // charEntry makes concurrent requests for the same generation build the
@@ -63,14 +103,24 @@ type charEntry struct {
 	err  error
 }
 
-// New returns an engine for the configuration. It fails only if the cache
-// directory is set and cannot be created.
+// New returns an engine for the configuration. It fails if the configured
+// backend is not registered or if the cache directory is set and cannot be
+// created.
 func New(cfg Config) (*Engine, error) {
 	mcfg := cfg.Measure
 	if mcfg == (measure.Config{}) {
 		mcfg = measure.DefaultConfig()
 	}
-	e := &Engine{cfg: cfg, mcfg: mcfg, chars: make(map[uarch.Generation]*charEntry)}
+	name := cfg.Backend
+	if name == "" {
+		name = measure.DefaultBackend
+	}
+	backend, ok := measure.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown measurement backend %q (registered backends: %s)",
+			name, strings.Join(measure.Names(), ", "))
+	}
+	e := &Engine{cfg: cfg, mcfg: mcfg, backend: backend, chars: make(map[uarch.Generation]*charEntry)}
 	if cfg.CacheDir != "" {
 		st, err := store.Open(cfg.CacheDir)
 		if err != nil {
@@ -82,11 +132,13 @@ func New(cfg Config) (*Engine, error) {
 }
 
 // Default returns an engine with the default configuration: the default
-// measurement protocol, a DefaultWorkers budget, and no persistent store.
+// backend and measurement protocol, a DefaultWorkers budget, and no
+// persistent store.
 func Default() *Engine {
 	e, err := New(Config{})
 	if err != nil {
-		// Unreachable: New only fails when a cache directory is configured.
+		// Unreachable: the default backend is always registered and New
+		// only fails otherwise when a cache directory is configured.
 		panic(err)
 	}
 	return e
@@ -100,12 +152,53 @@ func (e *Engine) Workers() int {
 	return core.DefaultWorkers()
 }
 
-// Harness builds a fresh, independent measurement stack (simulator plus
-// harness) for a generation, e.g. for direct sequence measurements or
-// prior-work baselines that must not share simulator state with the
-// characterizer.
-func (e *Engine) Harness(gen uarch.Generation) *measure.Harness {
-	return measure.NewWithConfig(pipesim.New(uarch.Get(gen)), e.mcfg)
+// Backend returns the measurement backend the engine builds runners from.
+func (e *Engine) Backend() measure.Backend { return e.backend }
+
+// fingerprint is the backend identity folded into every cache key: results
+// from different backends, or different revisions of one backend, never
+// share store entries.
+func (e *Engine) fingerprint() string {
+	return e.backend.Name() + "@" + e.backend.Version()
+}
+
+// Stats returns a snapshot of the engine's cumulative cache and measurement
+// counters.
+func (e *Engine) Stats() Stats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.stats
+}
+
+func (e *Engine) count(f func(*Stats)) {
+	e.statsMu.Lock()
+	f(&e.stats)
+	e.statsMu.Unlock()
+}
+
+// saved accounts for a store write: failures are counted in Stats and
+// reported through Config.Log, never returned — the computed result always
+// wins over a failed cache write, and the next run simply recomputes.
+func (e *Engine) saved(err error) {
+	if err == nil {
+		return
+	}
+	e.count(func(s *Stats) { s.SaveErrors++ })
+	if e.cfg.Log != nil {
+		e.cfg.Log("engine: persistent store: %v", err)
+	}
+}
+
+// Harness builds a fresh, independent measurement stack (a runner from the
+// configured backend plus a harness) for a generation, e.g. for direct
+// sequence measurements or prior-work baselines that must not share
+// substrate state with the characterizer.
+func (e *Engine) Harness(gen uarch.Generation) (*measure.Harness, error) {
+	r, err := e.backend.NewRunner(gen)
+	if err != nil {
+		return nil, fmt.Errorf("engine: backend %s: building runner for %s: %w", e.backend.Name(), gen, err)
+	}
+	return measure.NewWithConfig(r, e.mcfg), nil
 }
 
 // Characterizer returns the (lazily built, cached) characterizer for a
@@ -132,15 +225,21 @@ func (e *Engine) characterizer(gen uarch.Generation, workers int) (*core.Charact
 // set, via the store or parallel discovery.
 func (e *Engine) build(gen uarch.Generation, workers int) (*core.Characterizer, error) {
 	arch := uarch.Get(gen)
-	c := core.New(e.Harness(gen))
+	h, err := e.Harness(gen)
+	if err != nil {
+		return nil, err
+	}
+	c := core.New(h)
 	key := e.key(arch, store.KindBlocking)
 	if e.st != nil {
 		if rec, ok := e.st.LoadBlocking(key); ok {
 			if bs, ok := rec.Restore(arch.InstrSet()); ok {
+				e.count(func(s *Stats) { s.BlockingHits++ })
 				c.SetBlocking(bs)
 				return c, nil
 			}
 		}
+		e.count(func(s *Stats) { s.BlockingMisses++ })
 	}
 	opts := core.Options{Workers: workers}
 	if e.cfg.BlockingProgress != nil {
@@ -153,23 +252,23 @@ func (e *Engine) build(gen uarch.Generation, workers int) (*core.Characterizer, 
 		return nil, fmt.Errorf("engine: %s: discovering blocking instructions: %w", arch.Name(), err)
 	}
 	if e.st != nil {
-		// Best-effort: a failed cache write must not lose the discovery that
-		// just completed; the next run simply recomputes.
-		_ = e.st.SaveBlocking(key, store.RecordBlocking(bs))
+		e.saved(e.st.SaveBlocking(key, store.RecordBlocking(bs)))
 	}
 	return c, nil
 }
 
 // key builds the store key for a generation: the content hash covers the
-// generation, the measurement configuration and the full ISA variant set, so
-// any change to the universe invalidates cached entries.
+// generation, the backend fingerprint, the measurement configuration and the
+// full ISA variant set, so any change to the universe invalidates cached
+// entries.
 func (e *Engine) key(arch *uarch.Arch, scope string) store.Key {
 	instrs := arch.InstrSet().Instrs()
 	variants := make([]string, len(instrs))
 	for i, in := range instrs {
 		variants[i] = in.Name
 	}
-	return store.Key{Arch: arch.Name(), Measure: e.mcfg, Variants: variants, Scope: scope}
+	return store.Key{Arch: arch.Name(), Backend: e.fingerprint(), Measure: e.mcfg,
+		Variants: variants, Scope: scope}
 }
 
 // RunOptions controls one whole-ISA characterization run through the engine.
@@ -185,30 +284,116 @@ type RunOptions struct {
 	// caller splits its budget across concurrent generations). <= 0 uses the
 	// engine budget.
 	Workers int
-	// Progress, if non-nil, is called after each instruction.
+	// Progress, if non-nil, is called after each measured instruction
+	// (variants served from the per-variant cache are not re-measured and
+	// not reported).
 	Progress func(done, total int, name string)
 }
 
-// scope derives the result-store scope string for the run: everything that
-// changes the result (and nothing that does not — worker counts and progress
-// callbacks are excluded by the determinism guarantee).
+// scope derives the whole-ISA result-store scope string for the run:
+// everything that changes the result (and nothing that does not — worker
+// counts and progress callbacks are excluded by the determinism guarantee).
 func (o RunOptions) scope() string {
 	return fmt.Sprintf("result skipLatency=%v skipPortUsage=%v skipThroughput=%v only=%s",
 		o.SkipLatency, o.SkipPortUsage, o.SkipThroughput, strings.Join(o.Only, ","))
 }
 
+// variantScope derives the per-variant store scope: like scope, but without
+// the variant selection, so runs over different subsets share per-variant
+// entries (that sharing is the point of the incremental tier).
+func (o RunOptions) variantScope() string {
+	return fmt.Sprintf("variant skipLatency=%v skipPortUsage=%v skipThroughput=%v",
+		o.SkipLatency, o.SkipPortUsage, o.SkipThroughput)
+}
+
+// selection resolves the run's variant selection to canonical variant names.
+// ok == false means a name does not resolve; the engine then skips the
+// per-variant tier and lets the scheduler produce its usual error.
+func selection(arch *uarch.Arch, only []string) (names []string, ok bool) {
+	set := arch.InstrSet()
+	if len(only) == 0 {
+		instrs := set.Instrs()
+		names = make([]string, len(instrs))
+		for i, in := range instrs {
+			names[i] = in.Name
+		}
+		return names, true
+	}
+	names = make([]string, 0, len(only))
+	for _, name := range only {
+		in := set.Lookup(name)
+		if in == nil {
+			return nil, false
+		}
+		names = append(names, in.Name)
+	}
+	return names, true
+}
+
 // CharacterizeArch runs (or loads from the store) the characterization of
-// one generation. On a store hit the result is returned without building a
-// characterizer; on a miss the run is sharded across the worker budget and
-// the result persisted for the next invocation.
+// one generation. The store is consulted in two tiers: an exact whole-ISA
+// hit is returned without building a characterizer at all; otherwise the
+// per-variant tier supplies every already-measured variant and only the
+// missing ones are scheduled (sharded across the worker budget) through the
+// scheduler's resume entry point. Newly measured variants, the updated
+// per-variant index and the merged whole-ISA result are persisted for the
+// next invocation. The merged result is byte-identical to a cold run for any
+// worker count and any warm/cold mix.
 func (e *Engine) CharacterizeArch(gen uarch.Generation, opts RunOptions) (*core.ArchResult, error) {
 	arch := uarch.Get(gen)
-	key := e.key(arch, opts.scope())
+	rkey := e.key(arch, opts.scope())
 	if e.st != nil {
-		if res, ok := e.st.LoadResult(key); ok {
+		if res, ok := e.st.LoadResult(rkey); ok {
+			e.count(func(s *Stats) { s.ResultHits++ })
 			return res, nil
 		}
+		e.count(func(s *Stats) { s.ResultMisses++ })
 	}
+
+	var vdig store.Digest
+	partial := make(map[string]*core.InstrResult)
+	if e.st != nil {
+		names, resolved := selection(arch, opts.Only)
+		// The variant-tier digest is computed once: deriving each
+		// per-variant filename from it is O(1), so probing (and later
+		// persisting) N variants does not re-hash the N-variant universe N
+		// times.
+		vdig = e.key(arch, opts.variantScope()).Digest()
+		if resolved {
+			if idx, ok := e.st.LoadVariantIndex(vdig); ok {
+				for _, name := range names {
+					if partial[name] != nil || !idx.Has(name) {
+						continue
+					}
+					if rec, ok := e.st.LoadVariant(vdig, name); ok {
+						partial[name] = rec
+					}
+				}
+			}
+			e.count(func(s *Stats) { s.VariantHits += len(partial) })
+		}
+
+		// Full per-variant coverage: merge without building a characterizer
+		// (no runner construction, no blocking discovery).
+		if resolved && len(names) > 0 && len(partial) > 0 {
+			complete := true
+			for _, name := range names {
+				if partial[name] == nil {
+					complete = false
+					break
+				}
+			}
+			if complete {
+				res := core.NewArchResult(arch.Name())
+				for _, name := range names {
+					res.Results[name] = partial[name]
+				}
+				e.saved(e.st.SaveResult(rkey, res))
+				return res, nil
+			}
+		}
+	}
+
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = e.Workers()
@@ -225,16 +410,45 @@ func (e *Engine) CharacterizeArch(gen uarch.Generation, opts RunOptions) (*core.
 		Progress:       opts.Progress,
 		Workers:        workers,
 	}
-	res, err := c.CharacterizeAll(copts)
+	res, err := c.CharacterizeResume(copts, partial)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %s: %w", arch.Name(), err)
 	}
+	e.count(func(s *Stats) { s.VariantsMeasured += len(res.Results) - len(partial) })
 	if e.st != nil {
-		// Best-effort, as for blocking sets: the computed result wins over a
-		// failed cache write.
-		_ = e.st.SaveResult(key, res)
+		e.persistVariants(vdig, res, partial)
+		e.saved(e.st.SaveResult(rkey, res))
 	}
 	return res, nil
+}
+
+// persistVariants writes the newly measured per-variant records and merges
+// them into the per-variant index. The index update is read-merge-write
+// under idxMu so concurrent runs on one engine never lose entries; across
+// processes the atomic rename keeps the index consistent, and a lost entry
+// only costs re-measuring that variant.
+func (e *Engine) persistVariants(vdig store.Digest, res *core.ArchResult, partial map[string]*core.InstrResult) {
+	e.idxMu.Lock()
+	defer e.idxMu.Unlock()
+	idx, ok := e.st.LoadVariantIndex(vdig)
+	if !ok {
+		idx = store.NewVariantIndex()
+	}
+	changed := false
+	for name, rec := range res.Results {
+		if partial[name] != nil {
+			continue
+		}
+		if err := e.st.SaveVariant(vdig, name, rec); err != nil {
+			e.saved(err)
+			continue
+		}
+		idx.Entries[name] = true
+		changed = true
+	}
+	if changed {
+		e.saved(e.st.SaveVariantIndex(vdig, idx))
+	}
 }
 
 // SplitBudget divides a total worker budget across parts that run

@@ -5,13 +5,42 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
+	"strings"
 	"testing"
 
+	"uopsinfo/internal/store"
 	"uopsinfo/internal/uarch"
 	"uopsinfo/internal/xmlout"
 )
 
 var testOnly = []string{"ADD_R64_R64", "IMUL_R64_R64", "PXOR_XMM_XMM", "MOV_R64_M64"}
+
+// storeFiles lists the store files of one kind (filenames are
+// "<kind>-<hash>.json").
+func storeFiles(t *testing.T, dir, kind string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, ent := range entries {
+		if strings.HasPrefix(ent.Name(), kind+"-") {
+			names = append(names, ent.Name())
+		}
+	}
+	return names
+}
+
+func removeFiles(t *testing.T, dir string, names []string) {
+	t.Helper()
+	for _, name := range names {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
 
 func mustNew(t *testing.T, cfg Config) *Engine {
 	t.Helper()
@@ -49,12 +78,18 @@ func TestEngineCache(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatal(err)
+	// A cold run fills all three tiers: the blocking set, the whole-ISA
+	// result, one entry per variant, and the per-variant index.
+	wantEntries := map[string]int{
+		store.KindBlocking:     1,
+		store.KindResult:       1,
+		store.KindVariant:      len(testOnly),
+		store.KindVariantIndex: 1,
 	}
-	if len(entries) != 2 {
-		t.Fatalf("cache dir has %d entries after a cold run, want 2 (blocking + result)", len(entries))
+	for kind, want := range wantEntries {
+		if got := len(storeFiles(t, dir, kind)); got != want {
+			t.Errorf("cache dir has %d %s entries after a cold run, want %d", got, kind, want)
+		}
 	}
 
 	t.Run("warm result is byte-identical", func(t *testing.T) {
@@ -134,6 +169,117 @@ func TestEngineCache(t *testing.T) {
 			}
 		}
 	})
+}
+
+// TestIncrementalVariantCache is the engine-level acceptance test for the
+// per-variant tier: after evicting the whole-ISA entry and a strict subset
+// of per-variant entries, a warm run re-measures only the missing variants
+// (observable via Stats) and emits XML byte-identical to the cold run, for
+// worker counts 1, 4 and NumCPU.
+func TestIncrementalVariantCache(t *testing.T) {
+	dir := t.TempDir()
+	opts := RunOptions{Only: testOnly}
+
+	cold := mustNew(t, Config{Workers: 4, CacheDir: dir})
+	coldXML := renderXML(t, cold, opts)
+	if st := cold.Stats(); st.VariantsMeasured != len(testOnly) || st.VariantHits != 0 {
+		t.Fatalf("cold run stats = %+v, want %d variants measured and 0 hits", st, len(testOnly))
+	}
+
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		// Evict the whole-ISA result (so the run reaches the per-variant
+		// tier) and a strict subset — two — of the per-variant entries. The
+		// previous iteration re-filled the store, so each pass starts from a
+		// fully warm state.
+		removeFiles(t, dir, storeFiles(t, dir, store.KindResult))
+		variants := storeFiles(t, dir, store.KindVariant)
+		if len(variants) != len(testOnly) {
+			t.Fatalf("store has %d variant entries, want %d", len(variants), len(testOnly))
+		}
+		evicted := variants[:2]
+		removeFiles(t, dir, evicted)
+
+		warm := mustNew(t, Config{
+			Workers:  workers,
+			CacheDir: dir,
+			BlockingProgress: func(gen uarch.Generation, done, total int, name string) {
+				t.Errorf("workers=%d: blocking discovery ran on a warm cache (%s %d/%d)", workers, gen, done, total)
+			},
+		})
+		if got := renderXML(t, warm, opts); !bytes.Equal(got, coldXML) {
+			t.Errorf("workers=%d: incremental warm XML differs from cold run (%d vs %d bytes)",
+				workers, len(got), len(coldXML))
+		}
+		st := warm.Stats()
+		if st.VariantsMeasured != len(evicted) {
+			t.Errorf("workers=%d: re-measured %d variants, want exactly the %d evicted ones",
+				workers, st.VariantsMeasured, len(evicted))
+		}
+		if want := len(testOnly) - len(evicted); st.VariantHits != want {
+			t.Errorf("workers=%d: %d variant hits, want %d", workers, st.VariantHits, want)
+		}
+	}
+}
+
+// TestFullVariantHitSkipsStackBuild checks the merge-only warm path: when
+// every requested variant is served by the per-variant tier, the engine
+// must not build a characterizer at all — no runner construction and no
+// blocking discovery — even with the whole-ISA and blocking entries gone.
+func TestFullVariantHitSkipsStackBuild(t *testing.T) {
+	dir := t.TempDir()
+	opts := RunOptions{Only: testOnly}
+	cold := mustNew(t, Config{Workers: 4, CacheDir: dir})
+	coldXML := renderXML(t, cold, opts)
+
+	removeFiles(t, dir, storeFiles(t, dir, store.KindResult))
+	removeFiles(t, dir, storeFiles(t, dir, store.KindBlocking))
+
+	warm := mustNew(t, Config{
+		Workers:  4,
+		CacheDir: dir,
+		BlockingProgress: func(gen uarch.Generation, done, total int, name string) {
+			t.Errorf("blocking discovery ran despite full per-variant coverage (%s %d/%d)", gen, done, total)
+		},
+	})
+	if got := renderXML(t, warm, opts); !bytes.Equal(got, coldXML) {
+		t.Error("variant-merged XML differs from the cold run")
+	}
+	st := warm.Stats()
+	if st.VariantsMeasured != 0 || st.VariantHits != len(testOnly) {
+		t.Errorf("stats = %+v, want 0 measured and %d hits", st, len(testOnly))
+	}
+	if len(warm.chars) != 0 {
+		t.Errorf("engine built %d characterizer stacks, want none", len(warm.chars))
+	}
+	// The merged result was re-saved as a whole-ISA entry for the fast path.
+	if got := len(storeFiles(t, dir, store.KindResult)); got != 1 {
+		t.Errorf("merge did not re-save the whole-ISA entry (%d result files)", got)
+	}
+}
+
+// TestUnknownBackend checks the engine refuses an unregistered backend with
+// an error that lists what is registered, instead of silently defaulting.
+func TestUnknownBackend(t *testing.T) {
+	_, err := New(Config{Backend: "no-such-substrate"})
+	if err == nil {
+		t.Fatal("New accepted an unregistered backend")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "no-such-substrate") || !strings.Contains(msg, "pipesim") {
+		t.Errorf("error %q does not name the unknown backend and the registered ones", msg)
+	}
+}
+
+// TestBackendFingerprintSeparatesEntries checks that two engines on the same
+// store but different backend fingerprints never share cache entries.
+func TestBackendFingerprintSeparatesEntries(t *testing.T) {
+	a := mustNew(t, Config{})
+	ka := a.key(uarch.Get(uarch.Skylake), store.KindBlocking)
+	kb := ka
+	kb.Backend = "othersim@1"
+	if ka.VariantFilename("ADD_R64_R64") == kb.VariantFilename("ADD_R64_R64") {
+		t.Error("different backend fingerprints produced the same variant filename")
+	}
 }
 
 // TestEngineWithoutCache checks the engine works with no store configured

@@ -1,0 +1,78 @@
+package measure
+
+import (
+	"testing"
+
+	"uopsinfo/internal/uarch"
+)
+
+func TestDefaultBackendRegistered(t *testing.T) {
+	b, ok := Lookup(DefaultBackend)
+	if !ok {
+		t.Fatalf("default backend %q is not registered", DefaultBackend)
+	}
+	if b.Name() != DefaultBackend {
+		t.Errorf("backend registered under %q reports name %q", DefaultBackend, b.Name())
+	}
+	if b.Version() == "" {
+		t.Error("default backend has an empty version fingerprint")
+	}
+	found := false
+	for _, name := range Names() {
+		if name == DefaultBackend {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Names() = %v does not list %q", Names(), DefaultBackend)
+	}
+}
+
+func TestLookupUnknownBackend(t *testing.T) {
+	if _, ok := Lookup("no-such-substrate"); ok {
+		t.Error("Lookup returned a backend for an unregistered name")
+	}
+}
+
+// TestPipesimBackendRunners checks the default backend hands out fresh,
+// forkable runners for the requested generation — the properties the
+// engine's sharded scheduler relies on.
+func TestPipesimBackendRunners(t *testing.T) {
+	b, _ := Lookup(DefaultBackend)
+	r1, err := b.NewRunner(uarch.Skylake)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Arch().Gen() != uarch.Skylake {
+		t.Errorf("runner reports generation %s, want Skylake", r1.Arch().Gen())
+	}
+	r2, err := b.NewRunner(uarch.Skylake)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 == r2 {
+		t.Error("NewRunner returned the same runner twice")
+	}
+	h := NewWithConfig(r1, DefaultConfig())
+	if _, err := h.Fork(); err != nil {
+		t.Errorf("default backend's runner is not forkable: %v", err)
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndEmptyNames(t *testing.T) {
+	mustPanic := func(what string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Register did not panic on %s", what)
+			}
+		}()
+		f()
+	}
+	mustPanic("a duplicate name", func() { Register(pipesimBackend{}) })
+	mustPanic("an empty name", func() { Register(emptyNameBackend{}) })
+}
+
+type emptyNameBackend struct{ pipesimBackend }
+
+func (emptyNameBackend) Name() string { return "" }

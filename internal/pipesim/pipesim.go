@@ -29,6 +29,13 @@ import (
 	"uopsinfo/internal/uarch"
 )
 
+// Version is the behavioural revision of the simulator. It is the version
+// fingerprint of the pipesim measurement backend and is thereby folded into
+// persistent cache keys: bump it whenever a change alters the simulated
+// counter values, so results measured on the old behaviour read as misses
+// instead of being served stale.
+const Version = "1"
+
 // DividerValues selects whether operand values for divider-based instructions
 // are "fast" or "slow" (Section 5.2.5: the latency and throughput of
 // divisions depend on the operand values). The microbenchmark generator pins

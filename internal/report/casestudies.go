@@ -81,17 +81,22 @@ func (ctx *Context) Prewarm(gens []uarch.Generation) error {
 }
 
 // Baseline returns (building if necessary) the prior-work baseline for a
-// generation. It uses its own simulator instance so divider-value switching
-// in the characterizer does not interfere.
-func (ctx *Context) Baseline(gen uarch.Generation) *fog.Baseline {
+// generation. It uses its own runner instance so divider-value switching in
+// the characterizer does not interfere. It fails only if the engine's
+// backend cannot build a runner for the generation.
+func (ctx *Context) Baseline(gen uarch.Generation) (*fog.Baseline, error) {
 	ctx.mu.Lock()
 	defer ctx.mu.Unlock()
 	if b, ok := ctx.baselines[gen]; ok {
-		return b
+		return b, nil
 	}
-	b := fog.New(ctx.eng.Harness(gen))
+	h, err := ctx.eng.Harness(gen)
+	if err != nil {
+		return nil, err
+	}
+	b := fog.New(h)
 	ctx.baselines[gen] = b
-	return b
+	return b, nil
 }
 
 // CaseStudyGenerations lists the generations the case studies measure on, so
@@ -164,7 +169,10 @@ func SHLDStudy(ctx *Context) (*CaseStudy, error) {
 		if err != nil {
 			return nil, err
 		}
-		b := ctx.Baseline(gen)
+		b, err := ctx.Baseline(gen)
+		if err != nil {
+			return nil, err
+		}
 		in, err := ctx.variant(gen, "SHLD_R64_R64_I8")
 		if err != nil {
 			return nil, err
@@ -208,7 +216,10 @@ func MOVQ2DQStudy(ctx *Context) (*CaseStudy, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := ctx.Baseline(gen)
+	b, err := ctx.Baseline(gen)
+	if err != nil {
+		return nil, err
+	}
 	in, err := ctx.variant(gen, "MOVQ2DQ_XMM_MM")
 	if err != nil {
 		return nil, err
@@ -244,7 +255,10 @@ func MOVDQ2QStudy(ctx *Context) (*CaseStudy, error) {
 		if err != nil {
 			return nil, err
 		}
-		b := ctx.Baseline(gen)
+		b, err := ctx.Baseline(gen)
+		if err != nil {
+			return nil, err
+		}
 		in, err := ctx.variant(gen, "MOVDQ2Q_MM_XMM")
 		if err != nil {
 			return nil, err
@@ -369,7 +383,10 @@ func PortUsageMotivationStudy(ctx *Context) (*CaseStudy, error) {
 		if err != nil {
 			return nil, err
 		}
-		b := ctx.Baseline(tc.gen)
+		b, err := ctx.Baseline(tc.gen)
+		if err != nil {
+			return nil, err
+		}
 		in, err := ctx.variant(tc.gen, tc.name)
 		if err != nil {
 			return nil, err

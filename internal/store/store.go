@@ -1,16 +1,28 @@
 // Package store is the persistent result store of the characterization
-// engine: it caches discovered blocking-instruction sets and whole-ISA
-// characterization results across process runs, so the CLI tools do not have
-// to re-measure from scratch on every invocation.
+// engine: it caches discovered blocking-instruction sets, whole-ISA
+// characterization results and individual per-variant measurements across
+// process runs, so the CLI tools do not have to re-measure from scratch on
+// every invocation.
 //
 // Entries are keyed by a content hash of everything a result depends on: the
-// microarchitecture generation, the measurement-protocol configuration, the
-// full ISA variant set, and a scope string describing what was computed
-// (blocking discovery vs. a characterization run and its options). Files are
-// written atomically (temp file + rename) inside a versioned JSON envelope.
-// Every load failure — missing file, unreadable file, corrupt JSON, version
-// or kind mismatch, unknown instruction variant — is reported as a plain
-// cache miss so callers silently fall through to recomputation.
+// microarchitecture generation, the measurement-backend fingerprint
+// (name@version), the measurement-protocol configuration, the full ISA
+// variant set, and a scope string describing what was computed (blocking
+// discovery vs. a characterization run and its options). Files are written
+// atomically (temp file + rename) inside a versioned JSON envelope. Every
+// load failure — missing file, unreadable file, corrupt JSON, version or
+// kind mismatch, unknown instruction variant — is reported as a plain cache
+// miss so callers silently fall through to recomputation.
+//
+// The store has three tiers:
+//
+//   - blocking sets (KindBlocking), one entry per generation;
+//   - whole-ISA results (KindResult), one entry per run configuration —
+//     the fast path for exact repeat runs;
+//   - per-variant entries (KindVariant), one entry per instruction variant
+//     under a versioned index (KindVariantIndex) — the incremental tier:
+//     evicting or invalidating one variant only costs re-measuring that
+//     variant, and runs with different variant selections share entries.
 package store
 
 import (
@@ -28,13 +40,16 @@ import (
 
 // Version is the on-disk format version. Bump it whenever the payload
 // structures or the key derivation change incompatibly; old files then read
-// as misses and are recomputed.
-const Version = 1
+// as misses and are recomputed. (v2: backend fingerprint in the key,
+// per-variant tier.)
+const Version = 2
 
 // Kinds of stored entries.
 const (
-	KindBlocking = "blocking"
-	KindResult   = "result"
+	KindBlocking     = "blocking"
+	KindResult       = "result"
+	KindVariant      = "variant"
+	KindVariantIndex = "varindex"
 )
 
 // Key identifies a cached entry by content: everything the cached value
@@ -43,6 +58,10 @@ const (
 type Key struct {
 	// Arch is the microarchitecture generation name.
 	Arch string
+	// Backend is the measurement-backend fingerprint ("name@version") the
+	// results were measured on. Different backends — or different revisions
+	// of one backend — never share entries.
+	Backend string
 	// Measure is the measurement-protocol configuration the results were
 	// obtained with.
 	Measure measure.Config
@@ -55,11 +74,20 @@ type Key struct {
 	Scope string
 }
 
-// filename derives the store filename for a kind from the key's content
-// hash.
-func (k Key) filename(kind string) string {
+// Digest is the precomputed content hash of a Key. Hashing a key is linear
+// in the size of its variant universe, so callers that address many
+// per-variant entries (one filename per instruction variant) compute the
+// digest once and derive each filename from it in O(1).
+type Digest struct {
+	sum [sha256.Size]byte
+}
+
+// Digest hashes the key's content: everything the cached values depend on,
+// except the entry kind and the per-entry discriminator, which filename
+// mixes in on top.
+func (k Key) Digest() Digest {
 	h := sha256.New()
-	fmt.Fprintf(h, "store-v%d\nkind=%s\narch=%s\nscope=%s\n", Version, kind, k.Arch, k.Scope)
+	fmt.Fprintf(h, "store-v%d\narch=%s\nbackend=%s\nscope=%s\n", Version, k.Arch, k.Backend, k.Scope)
 	fmt.Fprintf(h, "measure short=%d long=%d rep=%d warmup=%v overheadCycles=%d overheadUops=%d\n",
 		k.Measure.ShortCopies, k.Measure.LongCopies, k.Measure.Repetitions,
 		k.Measure.Warmup, k.Measure.OverheadCycles, k.Measure.OverheadUops)
@@ -68,7 +96,37 @@ func (k Key) filename(kind string) string {
 	for _, v := range variants {
 		fmt.Fprintf(h, "variant=%s\n", v)
 	}
+	var d Digest
+	h.Sum(d.sum[:0])
+	return d
+}
+
+// filename derives a store filename from the digest, an entry kind and an
+// extra discriminator (the variant name of per-variant entries).
+func (d Digest) filename(kind, extra string) string {
+	h := sha256.New()
+	h.Write(d.sum[:])
+	fmt.Fprintf(h, "kind=%s\nextra=%s\n", kind, extra)
 	return fmt.Sprintf("%s-%x.json", kind, h.Sum(nil)[:16])
+}
+
+// VariantFilename returns the store filename of the per-variant entry for
+// one instruction variant. It is exported so tests and cache-maintenance
+// tooling can evict individual variants.
+func (d Digest) VariantFilename(name string) string {
+	return d.filename(KindVariant, "variant="+name)
+}
+
+// filename derives the store filename for a kind from the key's content
+// hash.
+func (k Key) filename(kind string) string {
+	return k.Digest().filename(kind, "")
+}
+
+// VariantFilename is the convenience form of Digest.VariantFilename for
+// one-off lookups; loops over many variants should hold the Digest.
+func (k Key) VariantFilename(name string) string {
+	return k.Digest().VariantFilename(name)
 }
 
 // envelope is the on-disk wrapper around every payload.
@@ -94,10 +152,10 @@ func Open(dir string) (*Store, error) {
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
-// load reads and validates an entry, decoding the payload into out. Any
-// failure is a miss.
-func (s *Store) load(kind string, key Key, out interface{}) bool {
-	data, err := os.ReadFile(filepath.Join(s.dir, key.filename(kind)))
+// load reads and validates the entry in file, decoding the payload into out.
+// Any failure is a miss.
+func (s *Store) load(kind, file string, out interface{}) bool {
+	data, err := os.ReadFile(filepath.Join(s.dir, file))
 	if err != nil {
 		return false
 	}
@@ -114,7 +172,7 @@ func (s *Store) load(kind string, key Key, out interface{}) bool {
 // save writes an entry atomically: the envelope is written to a temporary
 // file in the store directory and renamed into place, so concurrent readers
 // never observe a partial file.
-func (s *Store) save(kind string, key Key, payload interface{}) error {
+func (s *Store) save(kind, file string, payload interface{}) error {
 	raw, err := json.Marshal(payload)
 	if err != nil {
 		return fmt.Errorf("store: encoding %s entry: %w", kind, err)
@@ -136,7 +194,7 @@ func (s *Store) save(kind string, key Key, payload interface{}) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: writing %s entry: %w", kind, err)
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, key.filename(kind))); err != nil {
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, file)); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: writing %s entry: %w", kind, err)
 	}
@@ -217,7 +275,7 @@ func (r *BlockingRecord) Restore(set *isa.Set) (*core.BlockingSet, bool) {
 // false on any kind of miss.
 func (s *Store) LoadBlocking(key Key) (*BlockingRecord, bool) {
 	var rec BlockingRecord
-	if !s.load(KindBlocking, key, &rec) {
+	if !s.load(KindBlocking, key.filename(KindBlocking), &rec) {
 		return nil, false
 	}
 	return &rec, true
@@ -225,16 +283,16 @@ func (s *Store) LoadBlocking(key Key) (*BlockingRecord, bool) {
 
 // SaveBlocking persists a blocking record under the key.
 func (s *Store) SaveBlocking(key Key, rec *BlockingRecord) error {
-	return s.save(KindBlocking, key, rec)
+	return s.save(KindBlocking, key.filename(KindBlocking), rec)
 }
 
-// LoadResult returns the cached characterization result for the key, or ok
-// == false on any kind of miss. The result round-trips exactly: float64
-// values are encoded with full round-trip precision, so XML rendered from a
-// cached result is byte-identical to XML rendered from the original.
+// LoadResult returns the cached whole-ISA characterization result for the
+// key, or ok == false on any kind of miss. The result round-trips exactly:
+// float64 values are encoded with full round-trip precision, so XML rendered
+// from a cached result is byte-identical to XML rendered from the original.
 func (s *Store) LoadResult(key Key) (*core.ArchResult, bool) {
 	var res core.ArchResult
-	if !s.load(KindResult, key, &res) {
+	if !s.load(KindResult, key.filename(KindResult), &res) {
 		return nil, false
 	}
 	if res.Results == nil {
@@ -243,7 +301,67 @@ func (s *Store) LoadResult(key Key) (*core.ArchResult, bool) {
 	return &res, true
 }
 
-// SaveResult persists a characterization result under the key.
+// SaveResult persists a whole-ISA characterization result under the key.
 func (s *Store) SaveResult(key Key, res *core.ArchResult) error {
-	return s.save(KindResult, key, res)
+	return s.save(KindResult, key.filename(KindResult), res)
+}
+
+// VariantIndex is the versioned directory of the per-variant tier for one
+// key (one generation, backend, measurement configuration, universe and
+// characterization scope): the set of variant names that have been
+// measured. Entry filenames are derived from the key digest, not stored. A
+// variant missing from the index — or whose entry file is missing or
+// corrupt — is a per-variant miss; only that variant is re-measured.
+type VariantIndex struct {
+	Entries map[string]bool `json:"entries"`
+}
+
+// NewVariantIndex returns an empty index.
+func NewVariantIndex() *VariantIndex {
+	return &VariantIndex{Entries: make(map[string]bool)}
+}
+
+// Has reports whether the index lists a measured entry for the variant.
+func (x *VariantIndex) Has(name string) bool {
+	return x != nil && x.Entries[name]
+}
+
+// LoadVariantIndex returns the per-variant index for the key digest, or ok
+// == false on any kind of miss (an absent index reads as an empty
+// per-variant tier).
+func (s *Store) LoadVariantIndex(d Digest) (*VariantIndex, bool) {
+	var idx VariantIndex
+	if !s.load(KindVariantIndex, d.filename(KindVariantIndex, ""), &idx) {
+		return nil, false
+	}
+	if idx.Entries == nil {
+		return nil, false
+	}
+	return &idx, true
+}
+
+// SaveVariantIndex persists the per-variant index under the key digest.
+func (s *Store) SaveVariantIndex(d Digest, idx *VariantIndex) error {
+	return s.save(KindVariantIndex, d.filename(KindVariantIndex, ""), idx)
+}
+
+// LoadVariant returns the cached measurement record of one instruction
+// variant, or ok == false on any kind of miss. Records round-trip exactly,
+// like whole-ISA results.
+func (s *Store) LoadVariant(d Digest, name string) (*core.InstrResult, bool) {
+	var rec core.InstrResult
+	if !s.load(KindVariant, d.VariantFilename(name), &rec) {
+		return nil, false
+	}
+	// A record that does not name the requested variant belongs to a
+	// different universe (hash collision or tampering); treat it as a miss.
+	if rec.Name != name {
+		return nil, false
+	}
+	return &rec, true
+}
+
+// SaveVariant persists the measurement record of one instruction variant.
+func (s *Store) SaveVariant(d Digest, name string, rec *core.InstrResult) error {
+	return s.save(KindVariant, d.VariantFilename(name), rec)
 }

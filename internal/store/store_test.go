@@ -15,6 +15,7 @@ import (
 func testKey(scope string) Key {
 	return Key{
 		Arch:     "Skylake",
+		Backend:  "pipesim@1",
 		Measure:  measure.DefaultConfig(),
 		Variants: []string{"ADD_R64_R64", "IMUL_R64_R64", "PXOR_XMM_XMM"},
 		Scope:    scope,
@@ -48,6 +49,9 @@ func TestKeyHashSensitivity(t *testing.T) {
 	k = testKey("blocking")
 	k.Measure.Repetitions = 7
 	mutations["measure config"] = k
+	k = testKey("blocking")
+	k.Backend = "pipesim@2"
+	mutations["backend fingerprint"] = k
 	k = testKey("blocking")
 	k.Variants = append(k.Variants, "SHL_R64_I8")
 	mutations["variant set"] = k
@@ -137,6 +141,85 @@ func TestResultRoundTrip(t *testing.T) {
 	// A different scope must miss.
 	if _, ok := s.LoadResult(testKey("result only=IMUL_R64_R64")); ok {
 		t.Error("result found under a different scope")
+	}
+}
+
+// TestVariantRoundTrip checks the per-variant tier: records round-trip
+// exactly under their own filenames, different variants of one key never
+// collide, and a record that names a different variant reads as a miss.
+func TestVariantRoundTrip(t *testing.T) {
+	s := openStore(t)
+	key := testKey("variant skipLatency=false")
+	dig := key.Digest()
+	rec := &core.InstrResult{
+		Name:     "ADD_R64_R64",
+		Mnemonic: "ADD",
+		Uops:     1,
+		Ports:    core.PortUsage{"0156": 1},
+		Latency: core.LatencyResult{Pairs: []core.OperandPairLatency{
+			{Source: 1, Dest: 0, SourceName: "op2", DestName: "op1", Cycles: 1.0 / 3.0, Notes: "chain"},
+		}},
+		Throughput: core.ThroughputResult{Measured: 0.25, MeasuredSequenceLength: 8, Computed: 0.1 + 0.2},
+	}
+	if err := s.SaveVariant(dig, rec.Name, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.LoadVariant(dig, rec.Name)
+	if !ok {
+		t.Fatal("saved variant record not found")
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Errorf("variant record did not round-trip (float precision?):\ngot  %+v\nwant %+v", got, rec)
+	}
+	if _, ok := s.LoadVariant(dig, "IMUL_R64_R64"); ok {
+		t.Error("record found under a different variant name")
+	}
+	if key.VariantFilename("ADD_R64_R64") == key.VariantFilename("IMUL_R64_R64") {
+		t.Error("different variants share a filename")
+	}
+	// The one-off Key form and the precomputed Digest form must agree.
+	if key.VariantFilename("ADD_R64_R64") != dig.VariantFilename("ADD_R64_R64") {
+		t.Error("Key.VariantFilename and Digest.VariantFilename disagree")
+	}
+
+	// A record whose payload names a different variant (e.g. a corrupted or
+	// hand-moved file) must read as a miss, not be served under the wrong
+	// name.
+	wrong := &core.InstrResult{Name: "IMUL_R64_R64", Mnemonic: "IMUL"}
+	if err := s.save(KindVariant, key.VariantFilename("ADD_R64_R64"), wrong); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.LoadVariant(dig, "ADD_R64_R64"); ok {
+		t.Error("mis-named variant record was not treated as a miss")
+	}
+}
+
+// TestVariantIndexRoundTrip checks the versioned index of the per-variant
+// tier round-trips and that an absent index reads as a miss.
+func TestVariantIndexRoundTrip(t *testing.T) {
+	s := openStore(t)
+	dig := testKey("variant skipLatency=false").Digest()
+	if _, ok := s.LoadVariantIndex(dig); ok {
+		t.Error("empty store returned a variant index")
+	}
+	idx := NewVariantIndex()
+	idx.Entries["ADD_R64_R64"] = true
+	if err := s.SaveVariantIndex(dig, idx); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.LoadVariantIndex(dig)
+	if !ok {
+		t.Fatal("saved variant index not found")
+	}
+	if !reflect.DeepEqual(got, idx) {
+		t.Errorf("variant index did not round-trip:\ngot  %+v\nwant %+v", got, idx)
+	}
+	if !got.Has("ADD_R64_R64") || got.Has("IMUL_R64_R64") {
+		t.Errorf("index membership wrong: %+v", got)
+	}
+	var nilIdx *VariantIndex
+	if nilIdx.Has("ADD_R64_R64") {
+		t.Error("nil index claims membership")
 	}
 }
 
