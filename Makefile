@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-smoke fmt fmt-check ci ci-cmd
+.PHONY: build test vet race bench bench-smoke fmt fmt-check ci ci-cmd ci-service run-uopsd
 
 build:
 	$(GO) build ./...
@@ -39,8 +39,23 @@ ci-cmd:
 	$(GO) run ./cmd/uopsinfo -backends | grep -q '^pipesim' || \
 		{ echo "uopsinfo -backends does not list pipesim"; exit 1; }
 
+# run-uopsd starts the characterization service on its default address
+# (localhost:8631) with a local cache directory, the quickest way to poke the
+# HTTP API by hand.
+run-uopsd:
+	$(GO) run ./cmd/uopsd -cache .uopsd-cache -v
+
+# ci-service gates the HTTP characterization service under the race
+# detector: the endpoint suite (including the deterministic coalescing
+# storm), then the end-to-end test that binds the real uopsd server to an
+# ephemeral port, fires concurrent identical requests and asserts via
+# /v1/stats that exactly one measurement run served them all.
+ci-service:
+	$(GO) test -race -count=1 ./internal/service
+	$(GO) test -race -count=1 -run 'TestUopsd' ./cmd/uopsd
+
 # ci is the gate for every change: formatting and static checks, the full
-# test suite under the race detector (the characterization scheduler and the
-# engine are concurrent), a one-iteration pass over every benchmark, and the
-# command-level cache/backend checks.
-ci: fmt-check vet race bench-smoke ci-cmd
+# test suite under the race detector (the characterization scheduler, the
+# engine and the service are concurrent), a one-iteration pass over every
+# benchmark, and the command-level cache/backend/service checks.
+ci: fmt-check vet race bench-smoke ci-cmd ci-service

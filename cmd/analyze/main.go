@@ -37,7 +37,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("analyze: ")
 
-	archName := flag.String("arch", "Skylake", "microarchitecture generation")
+	archName := flag.String("arch", "Skylake", `microarchitecture generation (case and separators ignored, e.g. "sandy-bridge"); an unknown name is an error listing the known ones`)
 	jobs := flag.Int("j", runtime.NumCPU(), "total number of parallel workers")
 	cacheDir := flag.String("cache", "", "directory of the persistent result store")
 	backend := flag.String("backend", "", "measurement backend to run on (default: pipesim)")

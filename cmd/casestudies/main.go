@@ -11,7 +11,9 @@
 // With -j > 1 the per-generation characterizers (whose
 // blocking-instruction discovery dominates the runtime) are built
 // concurrently by the characterization engine; -cache reuses blocking sets
-// across invocations, and -backend selects the measurement backend.
+// across invocations, and -backend selects the measurement backend. Every
+// stack is built through the engine, which rejects unknown generations and
+// backends with an error instead of panicking.
 package main
 
 import (

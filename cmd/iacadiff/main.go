@@ -29,7 +29,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("iacadiff: ")
 
-	archName := flag.String("arch", "Skylake", "microarchitecture generation")
+	archName := flag.String("arch", "Skylake", `microarchitecture generation (case and separators ignored, e.g. "sandy-bridge")`)
 	sample := flag.Int("sample", 20, "compare every n-th eligible instruction variant (1 = all)")
 	jobs := flag.Int("j", runtime.NumCPU(), "total number of parallel workers (1 = fully sequential)")
 	cacheDir := flag.String("cache", "", "directory of the persistent result store")

@@ -29,7 +29,7 @@ func main() {
 	log.SetPrefix("table1: ")
 
 	sample := flag.Int("sample", 20, "compare every n-th eligible instruction variant (1 = all, slower)")
-	archName := flag.String("arch", "", "restrict to one generation (default: all nine)")
+	archName := flag.String("arch", "", `restrict to one generation (default: all nine; case and separators ignored, e.g. "sandy-bridge")`)
 	verbose := flag.Bool("v", false, "print progress")
 	jobs := flag.Int("j", runtime.NumCPU(), "total number of parallel workers (1 = fully sequential)")
 	cacheDir := flag.String("cache", "", "directory of the persistent result store")

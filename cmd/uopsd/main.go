@@ -1,0 +1,123 @@
+// Command uopsd is the long-running characterization service: an HTTP server
+// over the characterization engine and the persistent result store, serving
+// JSON/XML characterization results to many concurrent callers.
+//
+// Usage:
+//
+//	uopsd [-addr localhost:8631] [-j 8] [-cache DIR] [-backend pipesim] [-v]
+//
+// Endpoints:
+//
+//	GET /healthz                       liveness probe
+//	GET /v1/backends                   the measurement-backend registry
+//	GET /v1/stats                      engine + coalescing + request counters
+//	GET /v1/arch/{gen}                 full characterization (?only=..., ?quick=1, ?format=xml)
+//	GET /v1/arch/{gen}/variant/{name}  a single instruction variant
+//
+// The server owns one engine: concurrent identical queries are coalesced
+// into a single measurement run, and with -cache the run's results persist,
+// so repeated and subsequent queries are warm store hits. Generation names
+// in URLs are case-insensitive with separators ignored ("sandy-bridge").
+// SIGINT/SIGTERM shut the server down gracefully.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"uopsinfo/internal/engine"
+	"uopsinfo/internal/measure"
+	"uopsinfo/internal/service"
+)
+
+// errUsage signals that the flag package already printed the diagnostic and
+// usage text, so main only needs to set the exit status.
+var errUsage = errors.New("usage")
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("uopsd: ")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, log.Default(), nil); err != nil {
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+// run parses the arguments and serves until ctx is cancelled. It is
+// separated from main so the end-to-end tests can drive the real server
+// without spawning a process; ready, if non-nil, is called with the bound
+// address once the listener is up.
+func run(ctx context.Context, args []string, stdout io.Writer, logger *log.Logger, ready func(addr string)) error {
+	fs := flag.NewFlagSet("uopsd", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8631", "listen address (host:port; port 0 picks an ephemeral port)")
+	jobs := fs.Int("j", runtime.NumCPU(), "total number of parallel measurement workers")
+	cacheDir := fs.String("cache", "", "directory of the persistent result store (results survive restarts and are shared with the CLI tools)")
+	backendName := fs.String("backend", "", `measurement backend to serve from (default: "`+measure.DefaultBackend+`")`)
+	verbose := fs.Bool("v", false, "log engine cache diagnostics and blocking-discovery progress")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+
+	ecfg := engine.Config{Workers: *jobs, CacheDir: *cacheDir, Backend: *backendName}
+	if *verbose {
+		ecfg.Log = logger.Printf
+	}
+	eng, err := engine.New(ecfg)
+	if err != nil {
+		return err
+	}
+	svc, err := service.New(service.Config{Engine: eng, Log: logger.Printf})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("backend %s version %s, %d workers, cache %q",
+		eng.Backend().Name(), eng.Backend().Version(), eng.Workers(), *cacheDir)
+	fmt.Fprintf(stdout, "listening on http://%s\n", ln.Addr())
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	// Characterization handlers legitimately run for minutes, so no overall
+	// write timeout — but header reads and idle keep-alives are bounded, so
+	// trickling or abandoned connections cannot pin goroutines and file
+	// descriptors forever.
+	srv := &http.Server{
+		Handler:           svc,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	select {
+	case err := <-served:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return srv.Shutdown(shutCtx)
+}

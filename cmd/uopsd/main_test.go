@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"uopsinfo/internal/service"
+)
+
+// startServer runs the real uopsd server on an ephemeral port and returns
+// its base URL plus a shutdown function that waits for a clean exit.
+func startServer(t *testing.T, args ...string) (string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	addrc := make(chan string, 1)
+	done := make(chan error, 1)
+	logger := log.New(io.Discard, "", 0)
+	var stdout bytes.Buffer
+	go func() {
+		done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...),
+			&stdout, logger, func(addr string) { addrc <- addr })
+	}()
+	select {
+	case addr := <-addrc:
+		return "http://" + addr, func() {
+			cancel()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Errorf("server exit: %v", err)
+				}
+			case <-time.After(30 * time.Second):
+				t.Error("server did not shut down")
+			}
+			if !strings.Contains(stdout.String(), "listening on http://") {
+				t.Errorf("startup banner missing from stdout: %q", stdout.String())
+			}
+		}
+	case err := <-done:
+		cancel()
+		t.Fatalf("server exited before binding: %v", err)
+		return "", nil
+	}
+}
+
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestUopsdCoalescingStorm drives the acceptance scenario end to end through
+// the real server: with a cold cache, a storm of concurrent identical
+// requests performs exactly one measurement run (verified via /v1/stats),
+// every response is byte-identical, and bad input yields 4xx without
+// terminating the process.
+func TestUopsdCoalescingStorm(t *testing.T) {
+	base, shutdown := startServer(t, "-cache", t.TempDir(), "-j", "2")
+	defer shutdown()
+
+	if code, _ := getBody(t, base+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+
+	// The storm: K identical cold requests, in flight together (the cold
+	// run is dominated by blocking discovery, so the later requests attach
+	// while the first is still measuring; the stats assertions below hold
+	// even if some request misses the flight and becomes a warm store hit).
+	const storm = 6
+	target := base + "/v1/arch/skylake?only=ADD_R64_R64,PXOR_XMM_XMM"
+	codes := make([]int, storm)
+	bodies := make([][]byte, storm)
+	var wg sync.WaitGroup
+	for i := 0; i < storm; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(target)
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			codes[i] = resp.StatusCode
+			bodies[i], _ = io.ReadAll(resp.Body)
+		}(i)
+	}
+	wg.Wait()
+	for i := range bodies {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, codes[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Errorf("request %d body differs from request 0", i)
+		}
+	}
+
+	code, statsBody := getBody(t, base+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	var stats service.StatsResponse
+	if err := json.Unmarshal(statsBody, &stats); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one measurement run served the whole storm: only the two
+	// requested variants were ever measured, and every request either led a
+	// run (warm ones are store hits, not re-measurements) or coalesced onto
+	// one.
+	if stats.Engine.VariantsMeasured != 2 {
+		t.Errorf("storm measured %d variants, want exactly 2 (stats: %s)",
+			stats.Engine.VariantsMeasured, statsBody)
+	}
+	if got := stats.Engine.Runs + stats.Engine.CoalescedWaiters; got != storm {
+		t.Errorf("runs+coalesced = %d, want %d (stats: %s)", got, storm, statsBody)
+	}
+	if stats.Engine.Runs > 1 && stats.Engine.ResultHits != stats.Engine.Runs-1 {
+		t.Errorf("%d uncoalesced runs but %d store hits (stats: %s)",
+			stats.Engine.Runs, stats.Engine.ResultHits, statsBody)
+	}
+
+	// Bad input: 4xx, and the daemon keeps serving.
+	if code, _ := getBody(t, base+"/v1/arch/z80"); code != http.StatusBadRequest {
+		t.Errorf("unknown generation = %d, want 400", code)
+	}
+	if code, _ := getBody(t, base+"/v1/arch/skylake/variant/NOPE"); code != http.StatusNotFound {
+		t.Errorf("unknown variant = %d, want 404", code)
+	}
+	if code, _ := getBody(t, base+"/healthz"); code != http.StatusOK {
+		t.Errorf("server stopped serving after bad requests: healthz = %d", code)
+	}
+}
+
+// TestUopsdFlagErrors pins the usage surface: a bad flag or an unknown
+// backend must fail startup with an error, not serve.
+func TestUopsdFlagErrors(t *testing.T) {
+	logger := log.New(io.Discard, "", 0)
+	var stdout bytes.Buffer
+	if err := run(context.Background(), []string{"-nope"}, &stdout, logger, nil); err == nil {
+		t.Error("run accepted an unknown flag")
+	}
+	err := run(context.Background(), []string{"-backend", "warpdrive"}, &stdout, logger, nil)
+	if err == nil || !strings.Contains(err.Error(), "warpdrive") {
+		t.Errorf("run with unknown backend: %v", err)
+	}
+}

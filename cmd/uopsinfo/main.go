@@ -77,7 +77,7 @@ type config struct {
 func run(args []string, stdout io.Writer, logger *log.Logger) error {
 	var cfg config
 	fs := flag.NewFlagSet("uopsinfo", flag.ContinueOnError)
-	fs.StringVar(&cfg.archName, "arch", "Skylake", `microarchitecture to characterize (e.g. "Skylake", "Sandy Bridge") or "all"`)
+	fs.StringVar(&cfg.archName, "arch", "Skylake", `microarchitecture to characterize (e.g. "Skylake", "Sandy Bridge" or "sandy-bridge"; case and separators are ignored) or "all"`)
 	fs.StringVar(&cfg.out, "out", "results.xml", "output XML file")
 	fs.IntVar(&cfg.sample, "sample", 25, "characterize every n-th instruction variant (1 = all, slower)")
 	fs.StringVar(&cfg.only, "only", "", "comma-separated list of variant names to characterize (overrides -sample)")

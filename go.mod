@@ -1,3 +1,3 @@
 module uopsinfo
 
-go 1.21
+go 1.22

@@ -15,6 +15,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -56,24 +57,36 @@ type Config struct {
 	Log func(format string, args ...interface{})
 }
 
-// Stats are cumulative counters of the engine's cache and measurement
-// activity since New. They make cache behaviour observable: a warm
-// incremental run reports variant hits for the cached entries and measures
-// only the missing ones.
+// Stats are cumulative counters of the engine's cache, coalescing and
+// measurement activity since New. They make cache behaviour observable: a
+// warm incremental run reports variant hits for the cached entries and
+// measures only the missing ones. The JSON field names are part of the
+// characterization service's /v1/stats response.
 type Stats struct {
 	// BlockingHits and BlockingMisses count blocking-set store lookups.
-	BlockingHits, BlockingMisses int
+	BlockingHits   int `json:"blockingHits"`
+	BlockingMisses int `json:"blockingMisses"`
 	// ResultHits and ResultMisses count whole-ISA result store lookups.
-	ResultHits, ResultMisses int
+	ResultHits   int `json:"resultHits"`
+	ResultMisses int `json:"resultMisses"`
 	// VariantHits is the number of per-variant records served from the
 	// store; VariantsMeasured is the number of variants actually measured
 	// (store misses, or all requested variants when no store is configured).
-	VariantHits, VariantsMeasured int
+	VariantHits      int `json:"variantHits"`
+	VariantsMeasured int `json:"variantsMeasured"`
 	// SaveErrors counts failed store writes. The computed result always
 	// wins over a failed write — the next run simply recomputes — but the
 	// failures are counted here and logged through Config.Log instead of
 	// being dropped.
-	SaveErrors int
+	SaveErrors int `json:"saveErrors"`
+	// Runs counts CharacterizeArch executions that were not coalesced onto
+	// an in-flight identical run (store-warm executions included — a warm
+	// hit is still its own execution); CoalescedWaiters counts the requests
+	// that instead attached to an in-flight run and shared its result. For
+	// K concurrent identical cold requests, Runs increases by 1 and
+	// CoalescedWaiters by K-1.
+	Runs             int `json:"runs"`
+	CoalescedWaiters int `json:"coalescedWaiters"`
 }
 
 // Engine builds and caches one characterization stack per generation.
@@ -86,10 +99,11 @@ type Engine struct {
 	mu    sync.Mutex
 	chars map[uarch.Generation]*charEntry
 
-	// idxMu serializes read-merge-write updates of per-variant indexes, so
-	// concurrent generations (or concurrent runs of one engine) cannot lose
-	// each other's index entries.
-	idxMu sync.Mutex
+	// flightMu guards flights, the singleflight table of in-progress
+	// CharacterizeArch runs keyed by the run's store digest: concurrent
+	// identical queries coalesce onto one execution and fan its result out.
+	flightMu sync.Mutex
+	flights  map[store.Digest]*flight
 
 	statsMu sync.Mutex
 	stats   Stats
@@ -100,6 +114,15 @@ type Engine struct {
 type charEntry struct {
 	once sync.Once
 	c    *core.Characterizer
+	err  error
+}
+
+// flight is one in-progress CharacterizeArch execution. res and err are
+// written exactly once, before done is closed; waiters read them only after
+// done.
+type flight struct {
+	done chan struct{}
+	res  *core.ArchResult
 	err  error
 }
 
@@ -120,7 +143,13 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("engine: unknown measurement backend %q (registered backends: %s)",
 			name, strings.Join(measure.Names(), ", "))
 	}
-	e := &Engine{cfg: cfg, mcfg: mcfg, backend: backend, chars: make(map[uarch.Generation]*charEntry)}
+	e := &Engine{
+		cfg:     cfg,
+		mcfg:    mcfg,
+		backend: backend,
+		chars:   make(map[uarch.Generation]*charEntry),
+		flights: make(map[store.Digest]*flight),
+	}
 	if cfg.CacheDir != "" {
 		st, err := store.Open(cfg.CacheDir)
 		if err != nil {
@@ -222,9 +251,14 @@ func (e *Engine) characterizer(gen uarch.Generation, workers int) (*core.Charact
 }
 
 // build constructs the full stack for a generation and ensures its blocking
-// set, via the store or parallel discovery.
+// set, via the store or parallel discovery. An out-of-range generation is an
+// error, not a panic: Generation values reach the engine from request-derived
+// input (the HTTP service decodes them from URL segments).
 func (e *Engine) build(gen uarch.Generation, workers int) (*core.Characterizer, error) {
-	arch := uarch.Get(gen)
+	arch, err := uarch.Lookup(gen)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
 	h, err := e.Harness(gen)
 	if err != nil {
 		return nil, err
@@ -307,9 +341,10 @@ func (o RunOptions) variantScope() string {
 }
 
 // selection resolves the run's variant selection to canonical variant names.
-// ok == false means a name does not resolve; the engine then skips the
-// per-variant tier and lets the scheduler produce its usual error.
-func selection(arch *uarch.Arch, only []string) (names []string, ok bool) {
+// missing reports the first name that does not resolve (empty when the whole
+// selection resolves); the engine fails fast on it instead of paying a stack
+// build and blocking discovery for a run the scheduler would reject anyway.
+func selection(arch *uarch.Arch, only []string) (names []string, missing string) {
 	set := arch.InstrSet()
 	if len(only) == 0 {
 		instrs := set.Instrs()
@@ -317,30 +352,102 @@ func selection(arch *uarch.Arch, only []string) (names []string, ok bool) {
 		for i, in := range instrs {
 			names[i] = in.Name
 		}
-		return names, true
+		return names, ""
 	}
 	names = make([]string, 0, len(only))
 	for _, name := range only {
 		in := set.Lookup(name)
 		if in == nil {
-			return nil, false
+			return nil, name
 		}
 		names = append(names, in.Name)
 	}
-	return names, true
+	return names, ""
 }
 
 // CharacterizeArch runs (or loads from the store) the characterization of
-// one generation. The store is consulted in two tiers: an exact whole-ISA
-// hit is returned without building a characterizer at all; otherwise the
-// per-variant tier supplies every already-measured variant and only the
-// missing ones are scheduled (sharded across the worker budget) through the
-// scheduler's resume entry point. Newly measured variants, the updated
-// per-variant index and the merged whole-ISA result are persisted for the
-// next invocation. The merged result is byte-identical to a cold run for any
-// worker count and any warm/cold mix.
+// one generation. It is CharacterizeArchContext without cancellation; see
+// there for the store tiers and the coalescing of concurrent identical
+// queries.
 func (e *Engine) CharacterizeArch(gen uarch.Generation, opts RunOptions) (*core.ArchResult, error) {
-	arch := uarch.Get(gen)
+	return e.CharacterizeArchContext(context.Background(), gen, opts)
+}
+
+// CharacterizeArchContext runs (or loads from the store) the
+// characterization of one generation. The store is consulted in two tiers:
+// an exact whole-ISA hit is returned without building a characterizer at
+// all; otherwise the per-variant tier supplies every already-measured
+// variant and only the missing ones are scheduled (sharded across the worker
+// budget) through the scheduler's resume entry point. Newly measured
+// variants, the updated per-variant index and the merged whole-ISA result
+// are persisted for the next invocation. The merged result is byte-identical
+// to a cold run for any worker count and any warm/cold mix.
+//
+// Concurrent identical queries — same generation, same options, so the same
+// store digest — are coalesced singleflight-style: the first request
+// executes, later ones attach to the in-flight execution and receive the
+// same result (and error), so N simultaneous cold requests trigger exactly
+// one measurement run. Stats.Runs and Stats.CoalescedWaiters count the two
+// populations. Only the leader's opts drive the run; a coalesced waiter's
+// Progress callback never fires.
+//
+// ctx governs admission and waiting, not the measurement itself: a waiter
+// whose context is cancelled unblocks immediately with ctx.Err(), while the
+// in-flight run always completes (its result still serves the remaining
+// waiters and warms the store). An out-of-range generation is an error, not
+// a panic.
+func (e *Engine) CharacterizeArchContext(ctx context.Context, gen uarch.Generation, opts RunOptions) (*core.ArchResult, error) {
+	arch, err := uarch.Lookup(gen)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	dig := e.key(arch, opts.scope()).Digest()
+
+	e.flightMu.Lock()
+	if f, ok := e.flights[dig]; ok {
+		e.flightMu.Unlock()
+		e.count(func(s *Stats) { s.CoalescedWaiters++ })
+		select {
+		case <-f.done:
+			return f.res, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	e.flights[dig] = f
+	e.flightMu.Unlock()
+
+	e.count(func(s *Stats) { s.Runs++ })
+	// The flight must be released even if the run panics (e.g. in a
+	// caller-supplied Progress callback): the service layer recovers handler
+	// panics and keeps serving, so a flight left in the map would make every
+	// later identical request block on done forever. completed distinguishes
+	// a panic unwinding through here from a normal return, so waiters of a
+	// panicked run get an error rather than a nil result.
+	completed := false
+	defer func() {
+		if !completed {
+			f.err = fmt.Errorf("engine: characterization of %s aborted by a panic", arch.Name())
+		}
+		e.flightMu.Lock()
+		delete(e.flights, dig)
+		e.flightMu.Unlock()
+		close(f.done)
+	}()
+	f.res, f.err = e.characterizeArch(arch, opts)
+	completed = true
+	return f.res, f.err
+}
+
+// characterizeArch is the uncoalesced body of CharacterizeArchContext: the
+// two store tiers, the resume scheduling of missing variants, and the
+// persistence of what was measured.
+func (e *Engine) characterizeArch(arch *uarch.Arch, opts RunOptions) (*core.ArchResult, error) {
+	gen := arch.Gen()
 	rkey := e.key(arch, opts.scope())
 	if e.st != nil {
 		if res, ok := e.st.LoadResult(rkey); ok {
@@ -350,32 +457,37 @@ func (e *Engine) CharacterizeArch(gen uarch.Generation, opts RunOptions) (*core.
 		e.count(func(s *Stats) { s.ResultMisses++ })
 	}
 
+	// An unresolvable selection fails here, before any stack build: paying
+	// minutes of blocking discovery to have the scheduler reject a typo is
+	// not production-shaped.
+	names, missing := selection(arch, opts.Only)
+	if missing != "" {
+		return nil, fmt.Errorf("engine: %s: no instruction variant %q", arch.Name(), missing)
+	}
+
 	var vdig store.Digest
 	partial := make(map[string]*core.InstrResult)
 	if e.st != nil {
-		names, resolved := selection(arch, opts.Only)
 		// The variant-tier digest is computed once: deriving each
 		// per-variant filename from it is O(1), so probing (and later
 		// persisting) N variants does not re-hash the N-variant universe N
 		// times.
 		vdig = e.key(arch, opts.variantScope()).Digest()
-		if resolved {
-			if idx, ok := e.st.LoadVariantIndex(vdig); ok {
-				for _, name := range names {
-					if partial[name] != nil || !idx.Has(name) {
-						continue
-					}
-					if rec, ok := e.st.LoadVariant(vdig, name); ok {
-						partial[name] = rec
-					}
+		if idx, ok := e.st.LoadVariantIndex(vdig); ok {
+			for _, name := range names {
+				if partial[name] != nil || !idx.Has(name) {
+					continue
+				}
+				if rec, ok := e.st.LoadVariant(vdig, name); ok {
+					partial[name] = rec
 				}
 			}
-			e.count(func(s *Stats) { s.VariantHits += len(partial) })
 		}
+		e.count(func(s *Stats) { s.VariantHits += len(partial) })
 
 		// Full per-variant coverage: merge without building a characterizer
 		// (no runner construction, no blocking discovery).
-		if resolved && len(names) > 0 && len(partial) > 0 {
+		if len(names) > 0 && len(partial) > 0 {
 			complete := true
 			for _, name := range names {
 				if partial[name] == nil {
@@ -422,19 +534,14 @@ func (e *Engine) CharacterizeArch(gen uarch.Generation, opts RunOptions) (*core.
 	return res, nil
 }
 
-// persistVariants writes the newly measured per-variant records and merges
-// them into the per-variant index. The index update is read-merge-write
-// under idxMu so concurrent runs on one engine never lose entries; across
-// processes the atomic rename keeps the index consistent, and a lost entry
-// only costs re-measuring that variant.
+// persistVariants writes the newly measured per-variant records and adds
+// them to the per-variant index. Only the new names are handed to the store:
+// SaveVariantIndex merges them with the on-disk index under a per-digest
+// lock, so concurrent runs — on this engine, on another engine, or in
+// another uopsd handler sharing the cache directory — never lose each
+// other's entries.
 func (e *Engine) persistVariants(vdig store.Digest, res *core.ArchResult, partial map[string]*core.InstrResult) {
-	e.idxMu.Lock()
-	defer e.idxMu.Unlock()
-	idx, ok := e.st.LoadVariantIndex(vdig)
-	if !ok {
-		idx = store.NewVariantIndex()
-	}
-	changed := false
+	add := store.NewVariantIndex()
 	for name, rec := range res.Results {
 		if partial[name] != nil {
 			continue
@@ -443,11 +550,10 @@ func (e *Engine) persistVariants(vdig store.Digest, res *core.ArchResult, partia
 			e.saved(err)
 			continue
 		}
-		idx.Entries[name] = true
-		changed = true
+		add.Entries[name] = true
 	}
-	if changed {
-		e.saved(e.st.SaveVariantIndex(vdig, idx))
+	if len(add.Entries) > 0 {
+		e.saved(e.st.SaveVariantIndex(vdig, add))
 	}
 }
 

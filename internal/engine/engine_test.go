@@ -2,13 +2,18 @@ package engine
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
+	"uopsinfo/internal/core"
 	"uopsinfo/internal/store"
 	"uopsinfo/internal/uarch"
 	"uopsinfo/internal/xmlout"
@@ -323,5 +328,213 @@ func TestPrewarmBuildsConcurrently(t *testing.T) {
 		if len(bs.SSE) == 0 {
 			t.Errorf("%s: prewarmed characterizer has no blocking set", gen)
 		}
+	}
+}
+
+// waitForStat polls the engine's stats until cond is satisfied or the
+// deadline passes; rendezvous for the coalescing tests, which must observe a
+// run while it is still in flight.
+func waitForStat(t *testing.T, e *Engine, what string, cond func(Stats) bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond(e.Stats()) {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Errorf("timed out waiting for %s (stats: %+v)", what, e.Stats())
+	return false
+}
+
+// TestCharacterizeCoalescing checks the singleflight contract: K concurrent
+// identical cold requests perform exactly one measurement run, the waiters
+// attach to the in-flight execution, everyone gets a result rendering to
+// byte-identical XML, and the stats account for one run and K-1 waiters.
+func TestCharacterizeCoalescing(t *testing.T) {
+	const waiters = 4
+	released := make(chan struct{})
+	var gate sync.Once
+	// The leader's cold run is held inside blocking discovery until every
+	// waiter has attached, so coalescing is deterministic rather than a race
+	// the test usually wins.
+	e := mustNew(t, Config{
+		Workers:  2,
+		CacheDir: t.TempDir(),
+		BlockingProgress: func(gen uarch.Generation, done, total int, name string) {
+			gate.Do(func() { <-released })
+		},
+	})
+	opts := RunOptions{Only: testOnly}
+
+	results := make([]*core.ArchResult, waiters+1)
+	errs := make([]error, waiters+1)
+	var wg sync.WaitGroup
+	launch := func(i int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = e.CharacterizeArchContext(context.Background(), uarch.Skylake, opts)
+		}()
+	}
+
+	launch(0)
+	if !waitForStat(t, e, "the leader to start", func(s Stats) bool { return s.Runs == 1 }) {
+		close(released)
+		wg.Wait()
+		t.FailNow()
+	}
+	for i := 1; i <= waiters; i++ {
+		launch(i)
+	}
+	ok := waitForStat(t, e, "all waiters to attach", func(s Stats) bool { return s.CoalescedWaiters == waiters })
+	close(released)
+	wg.Wait()
+	if !ok {
+		t.FailNow()
+	}
+
+	var first []byte
+	for i, res := range results {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		var buf bytes.Buffer
+		doc := &xmlout.Document{Architectures: []xmlout.Architecture{xmlout.FromArchResult(res, nil)}}
+		if err := xmlout.Write(&buf, doc); err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = buf.Bytes()
+		} else if !bytes.Equal(buf.Bytes(), first) {
+			t.Errorf("request %d rendered different XML than request 0", i)
+		}
+	}
+	st := e.Stats()
+	if st.Runs != 1 || st.CoalescedWaiters != waiters {
+		t.Errorf("stats = %d runs, %d coalesced waiters, want 1, %d", st.Runs, st.CoalescedWaiters, waiters)
+	}
+	if st.VariantsMeasured != len(testOnly) {
+		t.Errorf("%d variants measured for %d coalesced requests, want exactly %d",
+			st.VariantsMeasured, waiters+1, len(testOnly))
+	}
+
+	// A later identical request is a store hit, not a new measurement.
+	if _, err := e.CharacterizeArch(uarch.Skylake, opts); err != nil {
+		t.Fatal(err)
+	}
+	st = e.Stats()
+	if st.ResultHits == 0 || st.VariantsMeasured != len(testOnly) {
+		t.Errorf("warm follow-up re-measured: %+v", st)
+	}
+}
+
+// TestCoalescedWaiterHonorsContext checks that a waiter whose context is
+// cancelled unblocks with ctx.Err() while the in-flight run keeps going.
+func TestCoalescedWaiterHonorsContext(t *testing.T) {
+	released := make(chan struct{})
+	var gate sync.Once
+	e := mustNew(t, Config{
+		Workers: 2,
+		BlockingProgress: func(gen uarch.Generation, done, total int, name string) {
+			gate.Do(func() { <-released })
+		},
+	})
+	opts := RunOptions{Only: testOnly}
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := e.CharacterizeArchContext(context.Background(), uarch.Skylake, opts)
+		leaderDone <- err
+	}()
+	if !waitForStat(t, e, "the leader to start", func(s Stats) bool { return s.Runs == 1 }) {
+		close(released)
+		t.FailNow()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := e.CharacterizeArchContext(ctx, uarch.Skylake, opts)
+		waiterDone <- err
+	}()
+	if !waitForStat(t, e, "the waiter to attach", func(s Stats) bool { return s.CoalescedWaiters == 1 }) {
+		close(released)
+		t.FailNow()
+	}
+	cancel()
+	select {
+	case err := <-waiterDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled waiter returned %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Error("cancelled waiter did not unblock")
+	}
+
+	close(released)
+	if err := <-leaderDone; err != nil {
+		t.Errorf("leader failed after a waiter was cancelled: %v", err)
+	}
+
+	// A pre-cancelled context is rejected at admission.
+	if _, err := e.CharacterizeArchContext(ctx, uarch.Skylake, opts); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled request returned %v, want context.Canceled", err)
+	}
+}
+
+// TestInvalidGenerationIsAnError checks every request-facing engine entry
+// point degrades an out-of-range generation to an error instead of a panic:
+// the HTTP service feeds it values decoded from URLs.
+func TestInvalidGenerationIsAnError(t *testing.T) {
+	e := Default()
+	for _, gen := range []uarch.Generation{-1, 99} {
+		if _, err := e.CharacterizeArch(gen, RunOptions{}); err == nil {
+			t.Errorf("CharacterizeArch(%d) did not fail", int(gen))
+		}
+		if _, err := e.Characterizer(gen); err == nil {
+			t.Errorf("Characterizer(%d) did not fail", int(gen))
+		}
+		if _, err := e.Harness(gen); err == nil {
+			t.Errorf("Harness(%d) did not fail", int(gen))
+		}
+	}
+}
+
+// TestFlightReleasedOnPanic checks the singleflight cleanup path: a run that
+// panics (e.g. in a caller-supplied Progress callback, recovered further up
+// by the HTTP service) must release its flight so later identical requests
+// run instead of blocking forever on a dead flight's done channel.
+func TestFlightReleasedOnPanic(t *testing.T) {
+	e := mustNew(t, Config{Workers: 1})
+	boom := true
+	opts := RunOptions{Only: testOnly[:1], Progress: func(done, total int, name string) {
+		if boom {
+			panic("kaboom")
+		}
+	}}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("the poisoned run did not panic")
+			}
+		}()
+		e.CharacterizeArch(uarch.Skylake, opts)
+	}()
+
+	boom = false
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.CharacterizeArch(uarch.Skylake, opts)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("identical request after a panicked run failed: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("identical request after a panicked run hung on the leaked flight")
 	}
 }

@@ -88,7 +88,11 @@ type pipesimBackend struct{}
 func (pipesimBackend) Name() string    { return "pipesim" }
 func (pipesimBackend) Version() string { return pipesim.Version }
 func (pipesimBackend) NewRunner(gen uarch.Generation) (Runner, error) {
-	return pipesim.New(uarch.Get(gen)), nil
+	arch, err := uarch.Lookup(gen)
+	if err != nil {
+		return nil, err
+	}
+	return pipesim.New(arch), nil
 }
 
 func init() { Register(pipesimBackend{}) }

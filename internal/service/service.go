@@ -1,0 +1,402 @@
+// Package service is the HTTP front end of the characterization engine: a
+// long-running server ("uopsd") that owns one engine.Engine (and through it
+// the persistent store) and serves characterization results to many
+// concurrent callers.
+//
+// Endpoints (all GET):
+//
+//	/healthz                       liveness probe
+//	/v1/backends                   the measurement-backend registry
+//	/v1/stats                      engine cache/coalescing counters + service counters
+//	/v1/arch/{gen}                 full characterization of one generation
+//	/v1/arch/{gen}/variant/{name}  characterization of a single variant
+//
+// The two characterization endpoints accept ?format=xml (default JSON; an
+// Accept header naming xml also selects it), and /v1/arch/{gen} additionally
+// accepts ?only=NAME,NAME and ?quick=1 (skip the per-operand-pair latency
+// measurements). Generation names are matched case-insensitively with
+// separators ignored, so /v1/arch/sandy-bridge works.
+//
+// Concurrent identical queries are coalesced by the engine singleflight-style
+// on the store digest of the request: N simultaneous cold requests for one
+// generation trigger exactly one measurement run, every waiter receives the
+// same result (rendered to byte-identical bodies), and the run lands in the
+// store so later requests are warm hits. /v1/stats exposes the run/waiter
+// counters.
+//
+// Errors on request-derived input degrade to HTTP statuses, never crash the
+// process: an unknown generation is 400, an unknown variant 404, and a
+// handler panic is caught, counted and answered with 500.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"uopsinfo/internal/engine"
+	"uopsinfo/internal/iaca"
+	"uopsinfo/internal/measure"
+	"uopsinfo/internal/uarch"
+	"uopsinfo/internal/xmlout"
+)
+
+// Config configures a Service.
+type Config struct {
+	// Engine is the characterization engine the service serves from.
+	// Required; the engine's store configuration decides whether results
+	// persist across requests and restarts.
+	Engine *engine.Engine
+	// Log, if non-nil, receives request-failure and panic diagnostics.
+	Log func(format string, args ...interface{})
+}
+
+// Counters are the service-level request counters, exposed (with the engine
+// stats) by /v1/stats.
+type Counters struct {
+	// Requests counts every HTTP request received.
+	Requests int `json:"requests"`
+	// Errors counts requests answered with a 4xx or 5xx status.
+	Errors int `json:"errors"`
+	// Panics counts handler panics that were caught and converted to 500s.
+	// Anything non-zero here is a bug worth a report.
+	Panics int `json:"panics"`
+}
+
+// Service is the HTTP handler of the characterization service. It is safe
+// for concurrent use by any number of requests.
+type Service struct {
+	eng *engine.Engine
+	log func(format string, args ...interface{})
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	counters Counters
+
+	// iacaMu guards iacaCache, the per-generation IACA analyzers. Building
+	// an analyzer walks the generation's full instruction set, so it happens
+	// once per generation, not once per request; after New an analyzer is
+	// read-only (the service only uses Entry) and safe to share.
+	iacaMu    sync.Mutex
+	iacaCache map[uarch.Generation]*iacaEntry
+}
+
+// iacaEntry builds one generation's analyzers exactly once, like the
+// engine's charEntry.
+type iacaEntry struct {
+	once      sync.Once
+	analyzers []*iaca.Analyzer
+	err       error
+}
+
+// New returns a service over the configured engine.
+func New(cfg Config) (*Service, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("service: Config.Engine is required")
+	}
+	s := &Service{
+		eng:       cfg.Engine,
+		log:       cfg.Log,
+		mux:       http.NewServeMux(),
+		iacaCache: make(map[uarch.Generation]*iacaEntry),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/backends", s.handleBackends)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/arch/{gen}", s.handleArch)
+	s.mux.HandleFunc("GET /v1/arch/{gen}/variant/{name}", s.handleVariant)
+	return s, nil
+}
+
+func (s *Service) logf(format string, args ...interface{}) {
+	if s.log != nil {
+		s.log(format, args...)
+	}
+}
+
+// Counters returns a snapshot of the service-level request counters.
+func (s *Service) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters
+}
+
+func (s *Service) count(f func(*Counters)) {
+	s.mu.Lock()
+	f(&s.counters)
+	s.mu.Unlock()
+}
+
+// statusWriter records the status code a handler wrote, for the error
+// counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// ServeHTTP dispatches to the endpoint handlers, counting requests and
+// errors. A panicking handler — which would otherwise take down every
+// connection of the server — is caught, counted, logged and converted into a
+// 500 response.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.count(func(c *Counters) { c.Requests++ })
+	sw := &statusWriter{ResponseWriter: w}
+	defer func() {
+		if p := recover(); p != nil {
+			s.count(func(c *Counters) { c.Panics++ })
+			s.logf("service: panic serving %s %s: %v", r.Method, r.URL.Path, p)
+			if sw.status == 0 {
+				http.Error(sw, "internal error", http.StatusInternalServerError)
+			}
+		}
+		if sw.status >= 400 {
+			s.count(func(c *Counters) { c.Errors++ })
+		}
+	}()
+	s.mux.ServeHTTP(sw, r)
+}
+
+// fail answers a request with a JSON error body.
+func (s *Service) fail(w http.ResponseWriter, status int, err error) {
+	s.logf("service: %d: %v", status, err)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// writeJSON answers with an indented JSON body. Encoding is deterministic
+// (struct-order fields, sorted results), so coalesced waiters rendering the
+// same result produce byte-identical bodies.
+func (s *Service) writeJSON(w http.ResponseWriter, v interface{}) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, fmt.Errorf("service: encoding response: %w", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Write(append(data, '\n'))
+}
+
+// wantXML reports whether the request asks for the XML rendering, via
+// ?format=xml or an Accept header whose first recognized media type is an
+// XML type. JSON is the default: a browser's Accept header (text/html
+// first, application/xml further down) or a catch-all must not flip the
+// format, so the header is matched on whole media-type tokens in listed
+// order, not by substring.
+func wantXML(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "xml":
+		return true
+	case "json":
+		return false
+	}
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mediaType, _, _ := strings.Cut(strings.TrimSpace(part), ";")
+		switch strings.TrimSpace(mediaType) {
+		case "application/xml", "text/xml":
+			return true
+		case "application/json", "text/html", "*/*":
+			return false
+		}
+	}
+	return false
+}
+
+// writeDoc renders a result document in the requested format. The XML
+// rendering is exactly the results-file format of cmd/uopsinfo.
+func (s *Service) writeDoc(w http.ResponseWriter, r *http.Request, doc *xmlout.Document) {
+	if !wantXML(r) {
+		s.writeJSON(w, doc)
+		return
+	}
+	// Render to a buffer first so an encoding error can still become a 500,
+	// and emit the buffer verbatim: the body must be byte-identical to the
+	// results file cmd/uopsinfo writes for the same result.
+	var buf strings.Builder
+	if err := xmlout.Write(&buf, doc); err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	io.WriteString(w, buf.String())
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// BackendInfo is one entry of the /v1/backends response.
+type BackendInfo struct {
+	Name    string `json:"name"`
+	Version string `json:"version"`
+	Default bool   `json:"default"`
+}
+
+func (s *Service) handleBackends(w http.ResponseWriter, r *http.Request) {
+	names := measure.Names()
+	infos := make([]BackendInfo, 0, len(names))
+	for _, name := range names {
+		b, ok := measure.Lookup(name)
+		if !ok {
+			continue
+		}
+		infos = append(infos, BackendInfo{Name: name, Version: b.Version(), Default: name == measure.DefaultBackend})
+	}
+	s.writeJSON(w, struct {
+		Backends []BackendInfo `json:"backends"`
+	}{infos})
+}
+
+// StatsResponse is the /v1/stats response: what the engine is serving from
+// (backend), how its caches and the request coalescing behave (engine), and
+// the service-level request counters (service).
+type StatsResponse struct {
+	Backend BackendInfo  `json:"backend"`
+	Engine  engine.Stats `json:"engine"`
+	Service Counters     `json:"service"`
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	b := s.eng.Backend()
+	s.writeJSON(w, StatsResponse{
+		Backend: BackendInfo{Name: b.Name(), Version: b.Version(), Default: b.Name() == measure.DefaultBackend},
+		Engine:  s.eng.Stats(),
+		Service: s.Counters(),
+	})
+}
+
+// archFromRequest resolves the {gen} path segment, answering 400 for an
+// unknown generation name (the error body lists the known ones).
+func (s *Service) archFromRequest(w http.ResponseWriter, r *http.Request) (*uarch.Arch, bool) {
+	arch, err := uarch.ByName(r.PathValue("gen"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	return arch, true
+}
+
+// characterize runs one request through the engine (coalescing with any
+// identical in-flight request) and handles the error surface: a cancelled
+// request writes nothing (the client is gone), anything else is a 500. The
+// response carries the per-version IACA entries exactly like the CLI's
+// results file, so the XML rendering is byte-identical to what cmd/uopsinfo
+// writes for the same query.
+func (s *Service) characterize(w http.ResponseWriter, r *http.Request, arch *uarch.Arch, opts engine.RunOptions) {
+	res, err := s.eng.CharacterizeArchContext(r.Context(), arch.Gen(), opts)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.logf("service: %s %s: client went away: %v", r.Method, r.URL.Path, err)
+			return
+		}
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	analyzers, err := s.analyzers(arch)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeDoc(w, r, xmlout.Single(xmlout.FromArchResult(res, analyzers)))
+}
+
+// analyzers returns the (lazily built, cached) IACA analyzers for a
+// generation.
+func (s *Service) analyzers(arch *uarch.Arch) ([]*iaca.Analyzer, error) {
+	s.iacaMu.Lock()
+	ent, ok := s.iacaCache[arch.Gen()]
+	if !ok {
+		ent = &iacaEntry{}
+		s.iacaCache[arch.Gen()] = ent
+	}
+	s.iacaMu.Unlock()
+	ent.once.Do(func() {
+		for _, v := range iaca.SupportedVersions(arch.Gen()) {
+			a, err := iaca.New(v, arch)
+			if err != nil {
+				ent.analyzers, ent.err = nil, err
+				return
+			}
+			ent.analyzers = append(ent.analyzers, a)
+		}
+	})
+	return ent.analyzers, ent.err
+}
+
+func (s *Service) handleArch(w http.ResponseWriter, r *http.Request) {
+	arch, ok := s.archFromRequest(w, r)
+	if !ok {
+		return
+	}
+	opts := engine.RunOptions{}
+	if q := r.URL.Query().Get("quick"); q != "" {
+		v, err := strconv.ParseBool(q)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("service: quick=%q is not a boolean", q))
+			return
+		}
+		opts.SkipLatency = v
+	}
+	if only := r.URL.Query().Get("only"); only != "" {
+		set := arch.InstrSet()
+		seen := make(map[string]bool)
+		for _, name := range strings.Split(only, ",") {
+			// Resolving here keeps the engine's error surface out of the
+			// status mapping: a mistyped ?only name is the caller's fault.
+			in := set.Lookup(name)
+			if in == nil {
+				s.fail(w, http.StatusBadRequest,
+					fmt.Errorf("service: %s has no instruction variant %q", arch.Name(), name))
+				return
+			}
+			if seen[in.Name] {
+				continue
+			}
+			seen[in.Name] = true
+			opts.Only = append(opts.Only, in.Name)
+		}
+		// Canonical (sorted, deduplicated) selections make equivalent
+		// requests identical to the engine: ?only=A,B and ?only=B,A share
+		// one coalescing flight and one store entry, and a duplicated name
+		// is not measured twice. The response is order-independent anyway
+		// (results are rendered in sorted variant order).
+		sort.Strings(opts.Only)
+	}
+	s.characterize(w, r, arch, opts)
+}
+
+func (s *Service) handleVariant(w http.ResponseWriter, r *http.Request) {
+	arch, ok := s.archFromRequest(w, r)
+	if !ok {
+		return
+	}
+	name := r.PathValue("name")
+	in := arch.InstrSet().Lookup(name)
+	if in == nil {
+		s.fail(w, http.StatusNotFound,
+			fmt.Errorf("service: %s has no instruction variant %q", arch.Name(), name))
+		return
+	}
+	s.characterize(w, r, arch, engine.RunOptions{Only: []string{in.Name}})
+}

@@ -32,6 +32,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
+	"time"
 
 	"uopsinfo/internal/core"
 	"uopsinfo/internal/isa"
@@ -142,11 +144,53 @@ type Store struct {
 }
 
 // Open returns a store rooted at dir, creating the directory if necessary.
+// Stale temporary files left behind by writers that died between CreateTemp
+// and the atomic rename are swept away on open.
 func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: opening %s: %w", dir, err)
 	}
-	return &Store{dir: dir}, nil
+	s := &Store{dir: dir}
+	s.sweepTmp()
+	return s, nil
+}
+
+// staleTmpAge is how old a "*.tmp" file must be before the sweep treats it
+// as debris. In-flight saves hold their temp file for milliseconds, so the
+// age gate keeps the sweep from unlinking a live writer's file — another
+// store over the same directory may be mid-save right now — while still
+// collecting what crashed writers left behind.
+const staleTmpAge = time.Hour
+
+// sweepTmp deletes stale "*.tmp" files in the store directory. Completed
+// writes leave no temporary file behind (save removes its temp file on every
+// error path), so anything matching the pattern and older than staleTmpAge
+// is debris from a writer that died between CreateTemp and the rename.
+func (s *Store) sweepTmp() {
+	matches, err := filepath.Glob(filepath.Join(s.dir, "*.tmp"))
+	if err != nil {
+		return
+	}
+	for _, m := range matches {
+		info, err := os.Stat(m)
+		if err != nil || time.Since(info.ModTime()) < staleTmpAge {
+			continue
+		}
+		os.Remove(m)
+	}
+}
+
+// idxLocks serializes index read-merge-write cycles per (directory, digest)
+// across every Store instance in the process: two engines — or two service
+// handlers — sharing one cache directory through separate Store values must
+// still contend on the same lock, or concurrent merges could interleave and
+// drop entries.
+var idxLocks sync.Map // string (dir \x00 digest) → *sync.Mutex
+
+func (s *Store) idxLock(d Digest) *sync.Mutex {
+	key := filepath.Clean(s.dir) + "\x00" + string(d.sum[:])
+	lock, _ := idxLocks.LoadOrStore(key, &sync.Mutex{})
+	return lock.(*sync.Mutex)
 }
 
 // Dir returns the store's root directory.
@@ -171,8 +215,10 @@ func (s *Store) load(kind, file string, out interface{}) bool {
 
 // save writes an entry atomically: the envelope is written to a temporary
 // file in the store directory and renamed into place, so concurrent readers
-// never observe a partial file.
-func (s *Store) save(kind, file string, payload interface{}) error {
+// never observe a partial file. The temporary file is removed on every error
+// path — a failed save must not leak it — and sweepTmp cleans up after
+// writers that died before reaching either the rename or the cleanup.
+func (s *Store) save(kind, file string, payload interface{}) (err error) {
 	raw, err := json.Marshal(payload)
 	if err != nil {
 		return fmt.Errorf("store: encoding %s entry: %w", kind, err)
@@ -185,17 +231,19 @@ func (s *Store) save(kind, file string, payload interface{}) error {
 	if err != nil {
 		return fmt.Errorf("store: writing %s entry: %w", kind, err)
 	}
+	defer func() {
+		if err != nil {
+			os.Remove(tmp.Name())
+		}
+	}()
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
 		return fmt.Errorf("store: writing %s entry: %w", kind, err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
 		return fmt.Errorf("store: writing %s entry: %w", kind, err)
 	}
 	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, file)); err != nil {
-		os.Remove(tmp.Name())
 		return fmt.Errorf("store: writing %s entry: %w", kind, err)
 	}
 	return nil
@@ -340,9 +388,37 @@ func (s *Store) LoadVariantIndex(d Digest) (*VariantIndex, bool) {
 	return &idx, true
 }
 
-// SaveVariantIndex persists the per-variant index under the key digest.
+// SaveVariantIndex persists the per-variant index under the key digest,
+// merging on save: what reaches disk is the union of idx and the entries
+// already recorded there, computed under a per-digest lock shared by every
+// Store in the process. A plain overwrite would make concurrent writers —
+// two engines, or two service handlers resolving different variants of one
+// digest — a last-writer-wins read-modify-write race that silently drops
+// index membership (the variant file survives but is never consulted, so the
+// variant is re-measured forever). Across processes the atomic rename keeps
+// the index well-formed and the reload-right-before-save merge shrinks the
+// race window to the save itself; a lost entry there only costs re-measuring
+// that variant once.
 func (s *Store) SaveVariantIndex(d Digest, idx *VariantIndex) error {
-	return s.save(KindVariantIndex, d.filename(KindVariantIndex, ""), idx)
+	lock := s.idxLock(d)
+	lock.Lock()
+	defer lock.Unlock()
+	merged := NewVariantIndex()
+	if cur, ok := s.LoadVariantIndex(d); ok {
+		for name, present := range cur.Entries {
+			if present {
+				merged.Entries[name] = true
+			}
+		}
+	}
+	if idx != nil {
+		for name, present := range idx.Entries {
+			if present {
+				merged.Entries[name] = true
+			}
+		}
+	}
+	return s.save(KindVariantIndex, d.filename(KindVariantIndex, ""), merged)
 }
 
 // LoadVariant returns the cached measurement record of one instruction

@@ -2,10 +2,13 @@ package store
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
+	"time"
 
 	"uopsinfo/internal/core"
 	"uopsinfo/internal/measure"
@@ -292,6 +295,120 @@ func TestCorruptAndMismatchedFilesAreMisses(t *testing.T) {
 	}
 	if got, ok := s.LoadResult(key); !ok || !reflect.DeepEqual(got, res) {
 		t.Error("re-saving over a corrupt file did not recover the entry")
+	}
+}
+
+// TestVariantIndexConcurrentWriters is the regression test for the index
+// save race: the save used to be a plain overwrite, so concurrent
+// read-modify-write updates of one digest's index could drop each other's
+// membership entries. With merge-on-save, every entry written by any of the
+// concurrent writers — whether they share one Store or each open their own
+// over the same directory, as two engines or two service handlers would —
+// must survive.
+func TestVariantIndexConcurrentWriters(t *testing.T) {
+	dig := testKey("variant skipLatency=false").Digest()
+	for _, mode := range []string{"shared store", "store per writer"} {
+		t.Run(mode, func(t *testing.T) {
+			dir := t.TempDir()
+			shared, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const writers = 16
+			var wg sync.WaitGroup
+			for i := 0; i < writers; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					s := shared
+					if mode == "store per writer" {
+						var err error
+						if s, err = Open(dir); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+					idx := NewVariantIndex()
+					idx.Entries[fmt.Sprintf("VARIANT_%02d", i)] = true
+					if err := s.SaveVariantIndex(dig, idx); err != nil {
+						t.Error(err)
+					}
+				}(i)
+			}
+			wg.Wait()
+			got, ok := shared.LoadVariantIndex(dig)
+			if !ok {
+				t.Fatal("no index after concurrent saves")
+			}
+			for i := 0; i < writers; i++ {
+				name := fmt.Sprintf("VARIANT_%02d", i)
+				if !got.Has(name) {
+					t.Errorf("index dropped %s written by a concurrent writer", name)
+				}
+			}
+			if len(got.Entries) != writers {
+				t.Errorf("index has %d entries, want %d", len(got.Entries), writers)
+			}
+		})
+	}
+}
+
+// TestOpenSweepsStaleTempFiles checks that opening a store removes temporary
+// files orphaned by a writer that died between CreateTemp and the rename —
+// but only stale ones: a fresh temp file may belong to a save in flight in
+// another store over the same directory and must survive the sweep.
+func TestOpenSweepsStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "result-12345.tmp")
+	if err := os.WriteFile(stale, []byte("half an envelope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * staleTmpAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	fresh := filepath.Join(dir, "varindex-67890.tmp")
+	if err := os.WriteFile(fresh, []byte("in flight"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keep := filepath.Join(dir, "result-deadbeef.json")
+	if err := os.WriteFile(keep, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale temp file survived Open (stat err: %v)", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("sweep deleted a fresh (possibly live) temp file: %v", err)
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Errorf("sweep touched a committed entry: %v", err)
+	}
+}
+
+// TestSaveFailureRemovesTempFile checks the error paths of the atomic write:
+// a save whose final rename fails must report the error and leave no
+// temporary file behind.
+func TestSaveFailureRemovesTempFile(t *testing.T) {
+	s := openStore(t)
+	key := testKey("blocking")
+	// A directory squatting on the destination filename makes the rename
+	// fail after the temp file was successfully written and closed.
+	if err := os.Mkdir(filepath.Join(s.Dir(), key.filename(KindBlocking)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveBlocking(key, &BlockingRecord{}); err == nil {
+		t.Fatal("save over a directory succeeded")
+	}
+	tmps, err := filepath.Glob(filepath.Join(s.Dir(), "*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmps) != 0 {
+		t.Errorf("failed save leaked temp files: %v", tmps)
 	}
 }
 

@@ -2,8 +2,9 @@ package uarch
 
 import (
 	"fmt"
-	"sort"
+	"strings"
 	"sync"
+	"unicode"
 
 	"uopsinfo/internal/isa"
 	"uopsinfo/internal/xedspec"
@@ -43,6 +44,72 @@ func (g Generation) String() string {
 		return generationNames[g]
 	}
 	return fmt.Sprintf("Generation(%d)", int(g))
+}
+
+// Valid reports whether g is one of the modelled generations. Values decoded
+// from external input (URLs, configuration files) must be checked — or
+// resolved through LookupGeneration — before being handed to Get.
+func (g Generation) Valid() bool { return g >= 0 && g < numGenerations }
+
+// GenerationNames returns the canonical generation names in chronological
+// order.
+func GenerationNames() []string {
+	names := make([]string, numGenerations)
+	for g := Generation(0); g < numGenerations; g++ {
+		names[g] = g.String()
+	}
+	return names
+}
+
+// normalizeGenName folds a generation name for lookup: lower-cased with
+// spaces, hyphens and underscores removed, so "Sandy Bridge", "sandy-bridge"
+// and "SANDYBRIDGE" (e.g. a URL path segment) all resolve to the same
+// generation.
+func normalizeGenName(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch r {
+		case ' ', '-', '_':
+			continue
+		}
+		b.WriteRune(unicode.ToLower(r))
+	}
+	return b.String()
+}
+
+// LookupGeneration resolves a generation name to its Generation value. The
+// match is case-insensitive and ignores spaces, hyphens and underscores, so
+// URL-friendly spellings of the multi-word names work. An unknown name is an
+// error (never a panic): it lists the known generations so e.g. an HTTP
+// handler can return the message verbatim with a 400 status.
+func LookupGeneration(name string) (Generation, error) {
+	want := normalizeGenName(name)
+	if want != "" {
+		for g := Generation(0); g < numGenerations; g++ {
+			if normalizeGenName(generationNames[g]) == want {
+				return g, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("uarch: unknown generation %q (known: %s)",
+		name, strings.Join(GenerationNames(), ", "))
+}
+
+// Lookup returns the Arch for a generation, rejecting out-of-range values
+// with an error. It is the checked form of Get for Generation values that
+// were not produced by this package. A named generation whose Arch failed to
+// build (a constant added without a profileFor case) is also an error here,
+// never a (nil, nil) pair.
+func Lookup(gen Generation) (*Arch, error) {
+	if !gen.Valid() {
+		return nil, fmt.Errorf("uarch: unknown generation %v (known: %s)",
+			gen, strings.Join(GenerationNames(), ", "))
+	}
+	a := Get(gen)
+	if a == nil {
+		return nil, fmt.Errorf("uarch: generation %v has no microarchitecture profile", gen)
+	}
+	return a, nil
 }
 
 // Processor returns the processor model the paper used for this generation.
@@ -223,29 +290,29 @@ func All() []*Arch {
 	return out
 }
 
-// ByName returns the Arch whose generation name matches name
-// (case-sensitive, e.g. "Skylake" or "Sandy Bridge").
+// ByName returns the Arch whose generation name matches name, under
+// LookupGeneration's flexible matching (case-insensitive, separators
+// ignored), e.g. "Skylake", "Sandy Bridge" or "sandy-bridge".
 func ByName(name string) (*Arch, error) {
-	archsOnce.Do(buildArchs)
-	for _, a := range archs {
-		if a.Name() == name {
-			return a, nil
-		}
+	g, err := LookupGeneration(name)
+	if err != nil {
+		return nil, err
 	}
-	var known []string
-	for g := Generation(0); g < numGenerations; g++ {
-		known = append(known, g.String())
-	}
-	sort.Strings(known)
-	return nil, fmt.Errorf("uarch: unknown generation %q (known: %v)", name, known)
+	return Lookup(g)
 }
 
 func buildArchs() {
 	archs = make(map[Generation]*Arch, int(numGenerations))
 	for g := Generation(0); g < numGenerations; g++ {
+		prof, ok := profileFor(g)
+		if !ok {
+			// Unreachable for the modelled range; skipping keeps an
+			// unmodelled constant a lookup miss instead of a crash.
+			continue
+		}
 		a := &Arch{
 			gen:        g,
-			prof:       profileFor(g),
+			prof:       prof,
 			extensions: extensionsFor(g),
 			perfCache:  make(map[string]*InstrPerf),
 		}

@@ -6,8 +6,10 @@ import "uopsinfo/internal/isa"
 // The port groups follow the publicly documented execution-port layouts of
 // the Intel Core generations: six ports on Nehalem through Ivy Bridge, eight
 // ports on Haswell and later (Figure 1 of the paper shows the six-port
-// variant).
-func profileFor(g Generation) profile {
+// variant). ok == false reports an unmodelled generation; callers fed
+// request-derived input (the HTTP service, anything resolving a Generation
+// from a name) must see an error path here, never a panic.
+func profileFor(g Generation) (profile, bool) {
 	switch g {
 	case Nehalem, Westmere:
 		return profile{
@@ -43,7 +45,7 @@ func profileFor(g Generation) profile {
 			fmaLat:    0,
 			aesLat:    6,
 			vecMulLat: 3,
-		}
+		}, true
 	case SandyBridge, IvyBridge:
 		p := profile{
 			numPorts:   6,
@@ -83,7 +85,7 @@ func profileFor(g Generation) profile {
 			p.moveElimGPR = true
 			p.moveElimVec = true
 		}
-		return p
+		return p, true
 	case Haswell, Broadwell:
 		return profile{
 			numPorts:   8,
@@ -118,7 +120,7 @@ func profileFor(g Generation) profile {
 			fmaLat:    5,
 			aesLat:    7,
 			vecMulLat: 5,
-		}
+		}, true
 	case Skylake, KabyLake, CoffeeLake:
 		return profile{
 			numPorts:   8,
@@ -153,9 +155,9 @@ func profileFor(g Generation) profile {
 			fmaLat:    4,
 			aesLat:    4,
 			vecMulLat: 5,
-		}
+		}, true
 	}
-	panic("uarch: unknown generation")
+	return profile{}, false
 }
 
 // extensionsFor returns the ISA extensions implemented by a generation. The

@@ -1,6 +1,7 @@
 package uarch
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -31,6 +32,42 @@ func TestByName(t *testing.T) {
 	}
 	if _, err := ByName("Pentium 4"); err == nil {
 		t.Error("ByName accepted an unknown generation")
+	}
+}
+
+func TestLookupGeneration(t *testing.T) {
+	// URL-friendly spellings of the multi-word names must resolve: the HTTP
+	// service feeds raw path segments through here.
+	for _, name := range []string{"Sandy Bridge", "sandy-bridge", "SANDYBRIDGE", "sandy_bridge"} {
+		g, err := LookupGeneration(name)
+		if err != nil || g != SandyBridge {
+			t.Errorf("LookupGeneration(%q) = %v, %v, want SandyBridge", name, g, err)
+		}
+	}
+	for _, name := range []string{"", "Pentium 4", "skylake2", "-"} {
+		if g, err := LookupGeneration(name); err == nil {
+			t.Errorf("LookupGeneration(%q) = %v, want error", name, g)
+		}
+	}
+	if _, err := LookupGeneration("Zen"); err == nil || !strings.Contains(err.Error(), "Skylake") {
+		t.Errorf("unknown-generation error should list the known names, got %v", err)
+	}
+}
+
+func TestLookupRejectsInvalidGeneration(t *testing.T) {
+	for _, g := range []Generation{-1, numGenerations, 1000} {
+		if a, err := Lookup(g); err == nil {
+			t.Errorf("Lookup(%d) = %v, want error", int(g), a)
+		}
+		if g.Valid() {
+			t.Errorf("Generation(%d).Valid() = true", int(g))
+		}
+	}
+	for g := Generation(0); g < numGenerations; g++ {
+		a, err := Lookup(g)
+		if err != nil || a == nil || a.Gen() != g {
+			t.Errorf("Lookup(%v) = %v, %v", g, a, err)
+		}
 	}
 }
 

@@ -16,54 +16,62 @@ import (
 	"uopsinfo/internal/iaca"
 )
 
-// Document is the root of the results file.
+// Document is the root of the results file. The document model doubles as
+// the characterization service's response body: the JSON tags define the
+// JSON rendering of the same data the XML tags define for the results file.
 type Document struct {
-	XMLName       xml.Name       `xml:"uopsInfo"`
-	Architectures []Architecture `xml:"architecture"`
+	XMLName       xml.Name       `xml:"uopsInfo" json:"-"`
+	Architectures []Architecture `xml:"architecture" json:"architectures"`
 }
 
 // Architecture holds the results for one microarchitecture generation.
 type Architecture struct {
-	Name         string        `xml:"name,attr"`
-	Instructions []Instruction `xml:"instruction"`
+	Name         string        `xml:"name,attr" json:"name"`
+	Instructions []Instruction `xml:"instruction" json:"instructions"`
 }
 
 // Instruction holds the results for one instruction variant.
 type Instruction struct {
-	Name     string    `xml:"name,attr"`
-	Mnemonic string    `xml:"asm,attr"`
-	Skipped  string    `xml:"skipped,attr,omitempty"`
-	Measured *Measured `xml:"measurement,omitempty"`
-	IACA     []IACAOut `xml:"iaca,omitempty"`
+	Name     string    `xml:"name,attr" json:"name"`
+	Mnemonic string    `xml:"asm,attr" json:"asm"`
+	Skipped  string    `xml:"skipped,attr,omitempty" json:"skipped,omitempty"`
+	Measured *Measured `xml:"measurement,omitempty" json:"measurement,omitempty"`
+	IACA     []IACAOut `xml:"iaca,omitempty" json:"iaca,omitempty"`
 }
 
 // Measured is the hardware-measurement part of an instruction's results.
 type Measured struct {
-	Uops       float64   `xml:"uops,attr"`
-	UopsIssued float64   `xml:"uopsIssued,attr"`
-	Ports      string    `xml:"ports,attr,omitempty"`
-	TPMeasured float64   `xml:"tpMeasured,attr,omitempty"`
-	TPComputed float64   `xml:"tpComputed,attr,omitempty"`
-	TPFast     float64   `xml:"tpFastValues,attr,omitempty"`
-	Latencies  []Latency `xml:"latency"`
+	Uops       float64   `xml:"uops,attr" json:"uops"`
+	UopsIssued float64   `xml:"uopsIssued,attr" json:"uopsIssued"`
+	Ports      string    `xml:"ports,attr,omitempty" json:"ports,omitempty"`
+	TPMeasured float64   `xml:"tpMeasured,attr,omitempty" json:"tpMeasured,omitempty"`
+	TPComputed float64   `xml:"tpComputed,attr,omitempty" json:"tpComputed,omitempty"`
+	TPFast     float64   `xml:"tpFastValues,attr,omitempty" json:"tpFastValues,omitempty"`
+	Latencies  []Latency `xml:"latency" json:"latency,omitempty"`
 }
 
 // Latency is one operand-pair latency entry.
 type Latency struct {
-	Source     string  `xml:"startOp,attr"`
-	Dest       string  `xml:"targetOp,attr"`
-	Cycles     float64 `xml:"cycles,attr"`
-	UpperBound bool    `xml:"upperBound,attr,omitempty"`
-	SameReg    bool    `xml:"sameReg,attr,omitempty"`
-	FastValues float64 `xml:"cyclesFastValues,attr,omitempty"`
-	Notes      string  `xml:"notes,attr,omitempty"`
+	Source     string  `xml:"startOp,attr" json:"startOp"`
+	Dest       string  `xml:"targetOp,attr" json:"targetOp"`
+	Cycles     float64 `xml:"cycles,attr" json:"cycles"`
+	UpperBound bool    `xml:"upperBound,attr,omitempty" json:"upperBound,omitempty"`
+	SameReg    bool    `xml:"sameReg,attr,omitempty" json:"sameReg,omitempty"`
+	FastValues float64 `xml:"cyclesFastValues,attr,omitempty" json:"cyclesFastValues,omitempty"`
+	Notes      string  `xml:"notes,attr,omitempty" json:"notes,omitempty"`
 }
 
 // IACAOut is the per-version IACA view of an instruction.
 type IACAOut struct {
-	Version string `xml:"version,attr"`
-	Uops    int    `xml:"uops,attr"`
-	Ports   string `xml:"ports,attr"`
+	Version string `xml:"version,attr" json:"version"`
+	Uops    int    `xml:"uops,attr" json:"uops"`
+	Ports   string `xml:"ports,attr" json:"ports"`
+}
+
+// Single wraps one architecture in a Document, the unit the service renders
+// for a single-generation request.
+func Single(a Architecture) *Document {
+	return &Document{Architectures: []Architecture{a}}
 }
 
 // FromArchResult converts a characterization result into the XML document
