@@ -1,6 +1,17 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-smoke fmt fmt-check ci ci-cmd ci-service run-uopsd
+# COUNT is plumbed into every benchmark run (go test -count). benchstat wants
+# >= 10 samples: `make bench COUNT=10 > new.txt` produces input it accepts
+# directly, and `make bench-compare OLD=old.txt NEW=new.txt` diffs two such
+# files.
+COUNT ?= 1
+
+# BENCH_LABEL names the column that `make bench-json` records the current
+# numbers under in BENCH_pipesim.json (e.g. pr5-before, pr5-after).
+BENCH_LABEL ?= current
+
+.PHONY: build test vet race bench bench-smoke bench-json bench-json-smoke \
+	bench-compare fmt fmt-check ci ci-cmd ci-service run-uopsd
 
 build:
 	$(GO) build ./...
@@ -15,12 +26,44 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run='^$$' -bench=. -benchmem -count=$(COUNT) ./...
 
 # bench-smoke runs every benchmark for a single iteration so they cannot
 # bit-rot without CI noticing; it reports no meaningful timings.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# bench-json records the perf trajectory: the simulator and LP hot-path
+# benchmarks at full fidelity plus the end-to-end characterization benchmarks
+# (bounded to 2 iterations — they run whole sampled ISA characterizations),
+# parsed into BENCH_pipesim.json under $(BENCH_LABEL). Existing labels in the
+# file are preserved, so successive PRs accumulate comparable columns.
+# (The benchmarks write to a temp file first so a failing/panicking
+# benchmark run aborts the recipe instead of recording a partial label.)
+bench-json:
+	@set -e; tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
+	$(GO) test -run='^$$' -bench=. -benchmem -count=$(COUNT) ./internal/pipesim ./internal/lp > "$$tmp"; \
+	$(GO) test -run='^$$' -bench='BenchmarkCharacterize|BenchmarkBlockingDiscovery' -benchmem -benchtime=2x . >> "$$tmp"; \
+	cat "$$tmp"; \
+	$(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -o BENCH_pipesim.json < "$$tmp"
+
+# bench-json-smoke is the CI gate for the trajectory pipeline: one iteration
+# of the hot-path benchmarks piped through the parser, output discarded — it
+# proves the pipeline parses real benchmark output without spending CI time
+# on meaningful timings.
+bench-json-smoke:
+	@set -e; tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./internal/pipesim ./internal/lp > "$$tmp"; \
+	$(GO) run ./cmd/benchjson -label smoke -o - < "$$tmp" >/dev/null
+
+# bench-compare diffs two saved benchmark outputs (`make bench > old.txt`).
+# benchstat is used when installed; otherwise the built-in comparator prints
+# per-benchmark speedups.
+bench-compare:
+	@if [ -z "$(OLD)" ] || [ -z "$(NEW)" ]; then \
+		echo "usage: make bench-compare OLD=old.txt NEW=new.txt"; exit 2; fi
+	@if command -v benchstat >/dev/null 2>&1; then benchstat $(OLD) $(NEW); \
+	else $(GO) run ./cmd/benchjson -compare $(OLD) $(NEW); fi
 
 fmt:
 	gofmt -l -w .
@@ -57,5 +100,6 @@ ci-service:
 # ci is the gate for every change: formatting and static checks, the full
 # test suite under the race detector (the characterization scheduler, the
 # engine and the service are concurrent), a one-iteration pass over every
-# benchmark, and the command-level cache/backend/service checks.
-ci: fmt-check vet race bench-smoke ci-cmd ci-service
+# benchmark, the benchmark-trajectory pipeline smoke, and the command-level
+# cache/backend/service checks.
+ci: fmt-check vet race bench-smoke bench-json-smoke ci-cmd ci-service

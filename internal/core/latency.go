@@ -447,9 +447,21 @@ func (c *Characterizer) regMemRoundTrip(in *isa.Instr, s, d int) (float64, error
 		iteration = append(iteration, asmgen.MustInst(load,
 			asmgen.RegOperand(srcReg.InFamily(isa.ClassGPR64)), asmgen.MemOperand(base, addr)))
 	} else {
-		loadName := "MOVDQA_XMM_M128"
-		if srcOp.Class == isa.ClassMMX {
+		// Load back with a move of the source operand's own register class;
+		// a class mismatch here would panic MustInst below (a YMM-source
+		// store used to pick the XMM load and crash every full-ISA run on
+		// AVX-capable generations). An unhandled class is an error — which
+		// the characterizer reports as a skipped variant — never a panic.
+		var loadName string
+		switch srcOp.Class {
+		case isa.ClassXMM:
+			loadName = "MOVDQA_XMM_M128"
+		case isa.ClassMMX:
 			loadName = "MOVQ_MM_M64"
+		case isa.ClassYMM:
+			loadName = "VMOVDQA_YMM_M256"
+		default:
+			return 0, fmt.Errorf("core: no load-back variant for %s-source stores", srcOp.Class)
 		}
 		load, err := c.gen.lookupVariant(loadName)
 		if err != nil {

@@ -12,12 +12,15 @@ import (
 // This file implements the sharded characterization scheduler. Every
 // instruction variant's measurement is independent of the others, but the
 // stack that performs it is stateful: the simulator's divider-value regime is
-// switched mid-measurement, the memory arena hands out addresses
-// monotonically, and the chain-latency cache fills as latencies are measured.
-// Sharding therefore gives each worker its own complete
-// simulator/harness/characterizer stack instead of locking a shared one; the
-// only state shared between workers is the blocking-instruction set, which is
-// discovered once up front and read-only afterwards.
+// switched mid-measurement and its rename/dispatch state lives in reusable
+// per-Machine arenas, the measurement harness reuses its repeated-sequence
+// buffers, the memory arena hands out addresses monotonically, and the
+// chain-latency cache fills as latencies are measured. Sharding therefore
+// gives each worker its own complete simulator/harness/characterizer stack
+// instead of locking a shared one; the only state shared between workers is
+// the blocking-instruction set, which is discovered once up front and
+// read-only afterwards (and the target Arch, whose perf-description cache is
+// internally synchronized and lock-free on the read path).
 
 // Fork returns a Characterizer with its own independent simulator and
 // measurement harness, sharing only the target microarchitecture and the

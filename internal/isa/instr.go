@@ -127,6 +127,25 @@ func (in *Instr) ExplicitOperands() []Operand {
 	return out
 }
 
+// ForEachExplicit calls fn for every explicit operand in assembler order,
+// passing its explicit index (the index into an asmgen.Inst's concrete
+// operand list) and a pointer into Operands. Iteration stops early when fn
+// returns false. It is the allocation-free companion of ExplicitOperands for
+// hot paths.
+func (in *Instr) ForEachExplicit(fn func(explIdx int, op *Operand) bool) {
+	expl := 0
+	for i := range in.Operands {
+		op := &in.Operands[i]
+		if op.Implicit {
+			continue
+		}
+		if !fn(expl, op) {
+			return
+		}
+		expl++
+	}
+}
+
 // ImplicitOperands returns the operands that do not appear in the assembler
 // syntax (status flags, fixed registers).
 func (in *Instr) ImplicitOperands() []Operand {

@@ -23,6 +23,9 @@ import (
 
 // Runner abstracts the execution substrate (the simulated processor). It is
 // implemented by *pipesim.Machine.
+//
+// Run must not retain code after returning: the harness reuses the backing
+// array of the sequences it passes in across measurements.
 type Runner interface {
 	Run(code asmgen.Sequence) (pipesim.Counters, error)
 	Arch() *uarch.Arch
@@ -93,9 +96,20 @@ type RunnerForker interface {
 }
 
 // Harness runs the measurement protocol on a Runner.
+//
+// A Harness reuses internal sequence buffers across measurements and is
+// therefore not safe for concurrent use; Fork creates independent harnesses
+// for concurrent workers.
 type Harness struct {
 	runner Runner
 	cfg    Config
+
+	// shortBuf and longBuf hold the materialized n-copy sequences for the
+	// current measurement. The protocol runs each of them once per
+	// repetition (plus warmup), so they are built once per Measure call and
+	// their backing arrays are reused across calls.
+	shortBuf asmgen.Sequence
+	longBuf  asmgen.Sequence
 }
 
 // New returns a harness with the default configuration.
@@ -148,17 +162,23 @@ func (h *Harness) Measure(code asmgen.Sequence) (Result, error) {
 	numPorts := h.runner.Arch().NumPorts()
 	acc := Result{PortUops: make([]float64, numPorts)}
 
+	// Materialize the two copy-count sequences once; every repetition (and
+	// the warmup) runs the same code, so re-concatenating it per run would
+	// only produce garbage for identical inputs.
+	h.shortBuf = repeatInto(h.shortBuf[:0], code, h.cfg.ShortCopies)
+	h.longBuf = repeatInto(h.longBuf[:0], code, h.cfg.LongCopies)
+
 	if h.cfg.Warmup {
-		if _, err := h.rawRun(code, h.cfg.ShortCopies); err != nil {
+		if _, err := h.rawRun(h.shortBuf); err != nil {
 			return Result{}, err
 		}
 	}
 	for rep := 0; rep < h.cfg.Repetitions; rep++ {
-		short, err := h.rawRun(code, h.cfg.ShortCopies)
+		short, err := h.rawRun(h.shortBuf)
 		if err != nil {
 			return Result{}, err
 		}
-		long, err := h.rawRun(code, h.cfg.LongCopies)
+		long, err := h.rawRun(h.longBuf)
 		if err != nil {
 			return Result{}, err
 		}
@@ -183,11 +203,20 @@ func (h *Harness) Measure(code asmgen.Sequence) (Result, error) {
 	return acc, nil
 }
 
-// rawRun executes n copies of the sequence and adds the modelled measurement
-// overhead (Algorithm 2 lines 3-9: serializing instructions and counter
-// reads).
-func (h *Harness) rawRun(code asmgen.Sequence, n int) (pipesim.Counters, error) {
-	c, err := h.runner.Run(code.Repeat(n))
+// repeatInto appends n copies of code to dst and returns it, reusing dst's
+// backing array (the allocation-free analogue of code.Repeat(n)).
+func repeatInto(dst, code asmgen.Sequence, n int) asmgen.Sequence {
+	for i := 0; i < n; i++ {
+		dst = append(dst, code...)
+	}
+	return dst
+}
+
+// rawRun executes an already-materialized n-copy sequence and adds the
+// modelled measurement overhead (Algorithm 2 lines 3-9: serializing
+// instructions and counter reads).
+func (h *Harness) rawRun(code asmgen.Sequence) (pipesim.Counters, error) {
+	c, err := h.runner.Run(code)
 	if err != nil {
 		return pipesim.Counters{}, err
 	}

@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"uopsinfo/internal/asmgen"
-	"uopsinfo/internal/isa"
 	"uopsinfo/internal/uarch"
 )
 
@@ -26,50 +25,21 @@ func benchSequence(b *testing.B, seq asmgen.Sequence) {
 	}
 }
 
+// The sequence builders live in hotpath_test.go, where the
+// allocation-regression tests pin the same four shapes.
+
 func BenchmarkRunIndependentALU(b *testing.B) {
-	arch := uarch.Get(uarch.Skylake)
-	add := arch.InstrSet().Lookup("ADD_R64_R64")
-	regs := []isa.Reg{isa.RAX, isa.RBX, isa.RCX, isa.RDX, isa.RSI, isa.RDI, isa.R8, isa.R9}
-	var seq asmgen.Sequence
-	for i := 0; i < 256; i++ {
-		r := regs[i%len(regs)]
-		seq = append(seq, asmgen.MustInst(add, asmgen.RegOperand(r), asmgen.RegOperand(r)))
-	}
-	benchSequence(b, seq)
+	benchSequence(b, seqIndependentALU(uarch.Get(uarch.Skylake)))
 }
 
 func BenchmarkRunDependencyChain(b *testing.B) {
-	arch := uarch.Get(uarch.Skylake)
-	imul := arch.InstrSet().Lookup("IMUL_R64_R64")
-	var seq asmgen.Sequence
-	for i := 0; i < 256; i++ {
-		seq = append(seq, asmgen.MustInst(imul, asmgen.RegOperand(isa.RAX), asmgen.RegOperand(isa.RAX)))
-	}
-	benchSequence(b, seq)
+	benchSequence(b, seqDependencyChain(uarch.Get(uarch.Skylake)))
 }
 
 func BenchmarkRunBlockingSequence(b *testing.B) {
-	arch := uarch.Get(uarch.Skylake)
-	pshufd := arch.InstrSet().Lookup("PSHUFD_XMM_XMM_I8")
-	movq2dq := arch.InstrSet().Lookup("MOVQ2DQ_XMM_MM")
-	var seq asmgen.Sequence
-	blocker := asmgen.MustInst(pshufd, asmgen.RegOperand(isa.XMM1), asmgen.RegOperand(isa.XMM2), asmgen.ImmOperand(0x1b))
-	for i := 0; i < 64; i++ {
-		seq = append(seq, blocker)
-	}
-	seq = append(seq, asmgen.MustInst(movq2dq, asmgen.RegOperand(isa.XMM3), asmgen.RegOperand(isa.MM0)))
-	benchSequence(b, seq)
+	benchSequence(b, seqBlockingSequence(uarch.Get(uarch.Skylake)))
 }
 
 func BenchmarkRunLoadStoreMix(b *testing.B) {
-	arch := uarch.Get(uarch.Skylake)
-	store := arch.InstrSet().Lookup("MOV_M64_R64")
-	load := arch.InstrSet().Lookup("MOV_R64_M64")
-	var seq asmgen.Sequence
-	for i := 0; i < 128; i++ {
-		addr := uint64(0x1000 + 64*i)
-		seq = append(seq, asmgen.MustInst(store, asmgen.MemOperand(isa.RSI, addr), asmgen.RegOperand(isa.RBX)))
-		seq = append(seq, asmgen.MustInst(load, asmgen.RegOperand(isa.RCX), asmgen.MemOperand(isa.RSI, addr)))
-	}
-	benchSequence(b, seq)
+	benchSequence(b, seqLoadStoreMix(uarch.Get(uarch.Skylake)))
 }

@@ -115,21 +115,48 @@ func TestPartialRegisterMergeCreatesDependency(t *testing.T) {
 
 func TestSchedulerSizeLimitsWindow(t *testing.T) {
 	t.Parallel()
-	// With a tiny scheduler, a long-latency instruction blocks issue and the
-	// independent work behind it cannot proceed, so the run takes longer
-	// than with the default scheduler size.
+	// Pins the scheduler-window semantics documented on Config.SchedulerSize:
+	// the window counts µops that have issued but not yet dispatched, a µop
+	// frees its entry at the end of the cycle in which it dispatches, and the
+	// freed entry is available to the front end in the next cycle.
+	//
+	// With N independent single-µop ADDs (all inputs live-in, four ALU ports
+	// on Skylake, issue width 4), a window of W <= 4 admits W µops per cycle,
+	// dispatches all of them the same cycle, and reclaims the entries for the
+	// next group — so the run takes exactly ceil(N/W) cycles. If dispatched
+	// µops kept their entries until some later completion point, the
+	// throughput would be strictly lower.
 	arch := uarch.Get(uarch.Skylake)
+	add := arch.InstrSet().Lookup("ADD_R64_R64")
+	regs := []isa.Reg{isa.RAX, isa.RBX, isa.RCX, isa.RDX, isa.RSI, isa.RDI, isa.R8, isa.R9}
+	const n = 8
+	var seq asmgen.Sequence
+	for i := 0; i < n; i++ {
+		seq = append(seq, asmgen.MustInst(add, asmgen.RegOperand(regs[i]), asmgen.RegOperand(regs[i])))
+	}
+	for _, tc := range []struct{ window, wantCycles int }{
+		{1, 8}, {2, 4}, {4, 2},
+	} {
+		m := NewWithConfig(arch, Config{SchedulerSize: tc.window})
+		if got := m.MustRun(seq).Cycles; got != tc.wantCycles {
+			t.Errorf("window %d: %d independent ADDs took %d cycles, want %d (waiting-µops-only window)",
+				tc.window, n, got, tc.wantCycles)
+		}
+	}
+
+	// The original qualitative property still holds: a tiny window behind a
+	// long-latency instruction cannot run ahead, so it is never faster than
+	// the 60-entry default.
 	small := NewWithConfig(arch, Config{SchedulerSize: 4})
 	normal := New(arch)
 	div := arch.InstrSet().Lookup("DIV_R64")
-	add := arch.InstrSet().Lookup("ADD_R64_R64")
-	var seq asmgen.Sequence
-	seq = append(seq, asmgen.MustInst(div, asmgen.RegOperand(isa.RBX)))
+	var blocked asmgen.Sequence
+	blocked = append(blocked, asmgen.MustInst(div, asmgen.RegOperand(isa.RBX)))
 	for i := 0; i < 60; i++ {
-		seq = append(seq, asmgen.MustInst(add, asmgen.RegOperand(isa.RCX), asmgen.RegOperand(isa.RSI)))
+		blocked = append(blocked, asmgen.MustInst(add, asmgen.RegOperand(isa.RCX), asmgen.RegOperand(isa.RSI)))
 	}
-	cSmall := small.MustRun(seq)
-	cNormal := normal.MustRun(seq)
+	cSmall := small.MustRun(blocked)
+	cNormal := normal.MustRun(blocked)
 	if cSmall.Cycles < cNormal.Cycles {
 		t.Errorf("a 4-entry scheduler (%d cycles) should not be faster than the 60-entry default (%d cycles)",
 			cSmall.Cycles, cNormal.Cycles)

@@ -19,10 +19,21 @@
 //   - a non-pipelined divider unit with value-dependent occupancy;
 //   - bypass delays between the vector-integer and floating-point domains;
 //   - SSE/AVX transition penalties.
+//
+// Because the harness executes the simulator once per variant per copy count
+// per repetition across the whole ISA, Run is the hot path of every
+// characterization run. Its implementation is allocation-free in steady
+// state: dynamic µops and renamed values live in per-Machine arenas that are
+// reset (not freed) between runs, the rename scoreboard is a flat array
+// keyed by register family and status flag, and per-µop port sets are
+// precomputed bitmasks. A Machine consequently carries mutable per-run
+// state and must not be used from multiple goroutines concurrently; use
+// Clone to obtain independent Machines for concurrent workers.
 package pipesim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"uopsinfo/internal/asmgen"
 	"uopsinfo/internal/isa"
@@ -33,7 +44,8 @@ import (
 // fingerprint of the pipesim measurement backend and is thereby folded into
 // persistent cache keys: bump it whenever a change alters the simulated
 // counter values, so results measured on the old behaviour read as misses
-// instead of being served stale.
+// instead of being served stale. (The arena/event-list rewrite of the hot
+// path is behaviour-preserving, so it did not bump this.)
 const Version = "1"
 
 // DividerValues selects whether operand values for divider-based instructions
@@ -92,6 +104,13 @@ func (c Counters) Sub(o Counters) Counters {
 type Config struct {
 	// SchedulerSize is the number of entries in the unified reservation
 	// station. Zero selects the default of 60 entries.
+	//
+	// The window counts µops that have issued but not yet dispatched to an
+	// execution port: a µop occupies its entry from the cycle it issues
+	// until the end of the cycle in which it dispatches, and the freed entry
+	// can be refilled by the front end in the next cycle. µops handled at
+	// rename (eliminated moves, zero idioms, NOPs) never occupy an entry.
+	// TestSchedulerSizeLimitsWindow pins these semantics.
 	SchedulerSize int
 	// MaxCycles aborts runaway simulations. Zero selects a large default.
 	MaxCycles int
@@ -100,10 +119,81 @@ type Config struct {
 	DividerValues DividerValues
 }
 
+// maxPorts bounds the per-port bitmasks and load tables; all modelled
+// generations have 6 or 8 execution ports.
+const maxPorts = 16
+
+// numFlagVals is the size of the status-flag scoreboard.
+const numFlagVals = int(isa.NumFlags)
+
+// dynVal is one renamed value (a physical-register-like entity). Values live
+// in the Machine's val arena and are referenced by index.
+type dynVal struct {
+	ready  int32 // cycle the value becomes available
+	known  bool  // producer has dispatched (or the value is live-in)
+	domain isa.Domain
+}
+
+// dynUop is one dynamic µop instance. µops live in the Machine's µop arena;
+// their read and write value lists are [start,end) segments of the shared
+// readIdx/writeIdx backing slices (writeLat is parallel to writeIdx).
+type dynUop struct {
+	rdStart, rdEnd int32
+	wrStart, wrEnd int32
+	portMask       uint16 // allowed execution ports as a bitmask
+	eliminated     bool
+	divider        bool
+	dispatched     bool
+	domain         isa.Domain
+	divOcc         int32
+}
+
 // Machine simulates one microarchitecture generation.
+//
+// A Machine owns reusable per-run state (arenas, scoreboards, scheduler
+// queues) so that steady-state Run calls perform no heap allocations beyond
+// the returned Counters.PortUops slice. It is therefore NOT safe for
+// concurrent use: each goroutine needs its own Machine (see Clone).
 type Machine struct {
 	arch *uarch.Arch
 	cfg  Config
+
+	// perf memoizes the Arch.Perf lookup per variant, keyed by identity.
+	// InstrPerf values are immutable, so sharing the pointers is safe. The
+	// cache persists across runs: with the measurement protocol running the
+	// same short sequence at two copy counts times repetitions, every
+	// instruction after the first occurrence hits here instead of the
+	// Arch-level cache.
+	perf map[*isa.Instr]*uarch.InstrPerf
+
+	// Arenas, reset (not freed) between runs.
+	vals     []dynVal
+	uops     []dynUop
+	readIdx  []int32 // backing store for dynUop read segments
+	writeIdx []int32 // backing store for dynUop write segments
+	writeLat []int32 // latency per written value, parallel to writeIdx
+
+	// Rename scoreboard: latest renamed value per architectural resource.
+	// Register families and status flags are flat arrays (-1 = live-in not
+	// yet materialized); memory addresses are arbitrary, so they keep a map
+	// that is cleared — not reallocated — between runs.
+	regBoard  [isa.NumRegs]int32
+	flagBoard [numFlagVals]int32
+	memBoard  map[uint64]int32
+	produced  [isa.NumRegs]bool
+
+	// Per-instruction temporaries, validity-tracked by epoch so no clearing
+	// is needed between instructions.
+	tempVal   []int32
+	tempEpoch []uint64
+	tempGen   uint64
+
+	// Scheduler state reused across runs.
+	sched    []int32
+	elim     []int32
+	portLoad [maxPorts]int32
+
+	initialized bool
 }
 
 // New returns a Machine for the given microarchitecture with default
@@ -120,6 +210,19 @@ func NewWithConfig(arch *uarch.Arch, cfg Config) *Machine {
 	if cfg.MaxCycles <= 0 {
 		cfg.MaxCycles = 5_000_000
 	}
+	// Value-ready times are stored as int32 in the arena; cap the cycle
+	// horizon well below that range so they cannot wrap. A simulation this
+	// long would never finish anyway — MaxCycles exists to abort runaways.
+	if cfg.MaxCycles > 1<<30 {
+		cfg.MaxCycles = 1 << 30
+	}
+	if arch.NumPorts() > maxPorts {
+		// The dispatch stage represents port sets as uint16 bitmasks;
+		// silently dropping ports would turn their µops into phantom
+		// deadlocks, so fail loudly if a generation ever outgrows the mask.
+		panic(fmt.Sprintf("pipesim: %s has %d ports, max supported is %d",
+			arch.Name(), arch.NumPorts(), maxPorts))
+	}
 	return &Machine{arch: arch, cfg: cfg}
 }
 
@@ -131,8 +234,8 @@ func (m *Machine) Config() Config { return m.cfg }
 
 // Clone returns an independent Machine with the same microarchitecture and
 // configuration. The clone shares only the (internally synchronized) Arch;
-// mutable per-run state such as the divider-value regime is copied, so clones
-// can run on different goroutines without synchronization.
+// the arenas, scoreboards and the divider-value regime are per-Machine, so
+// clones can run on different goroutines without synchronization.
 func (m *Machine) Clone() *Machine {
 	return NewWithConfig(m.arch, m.cfg)
 }
@@ -141,44 +244,86 @@ func (m *Machine) Clone() *Machine {
 // instructions in subsequent runs.
 func (m *Machine) SetDividerValues(v DividerValues) { m.cfg.DividerValues = v }
 
-// dynVal is one renamed value (a physical-register-like entity).
-type dynVal struct {
-	ready  int
-	known  bool // producer has dispatched (or the value is live-in)
-	domain isa.Domain
+// Reset clears all per-run state while keeping the arena capacity, so the
+// next Run starts from an idle pipeline without reallocating. Run calls it
+// automatically; it is exported so tests (and callers that want to verify
+// the reuse contract) can exercise it directly. Under race-enabled builds,
+// Run additionally verifies the reset invariants, which guards against a
+// future slab being added to the Machine without being wired into Reset —
+// the failure mode that would leak renamed values across runs.
+func (m *Machine) Reset() {
+	if !m.initialized {
+		m.memBoard = make(map[uint64]int32)
+		m.perf = make(map[*isa.Instr]*uarch.InstrPerf)
+		m.initialized = true
+	}
+	m.vals = m.vals[:0]
+	m.uops = m.uops[:0]
+	m.readIdx = m.readIdx[:0]
+	m.writeIdx = m.writeIdx[:0]
+	m.writeLat = m.writeLat[:0]
+	for i := range m.regBoard {
+		m.regBoard[i] = -1
+	}
+	for i := range m.flagBoard {
+		m.flagBoard[i] = -1
+	}
+	clear(m.memBoard)
+	for i := range m.produced {
+		m.produced[i] = false
+	}
+	m.sched = m.sched[:0]
+	m.elim = m.elim[:0]
+	m.portLoad = [maxPorts]int32{}
+	// tempGen is deliberately NOT reset: temp slots are validated by epoch,
+	// and the monotonically increasing generation keeps slots from a
+	// previous run invalid without clearing them.
 }
 
-// dynUop is one dynamic µop instance.
-type dynUop struct {
-	ports      []int
-	reads      []*dynVal
-	writes     []*dynVal
-	writeLat   []int
-	eliminated bool
-	divider    bool
-	divOcc     int
-	domain     isa.Domain
-	dispatched bool
+// checkResetInvariants panics if any per-run state survived Reset. It is
+// called from Run only under race-enabled builds (see raceEnabled), where
+// the differential and determinism tests run; a leak here means a renamed
+// value from a previous Run could alias into the current one.
+func (m *Machine) checkResetInvariants() {
+	if len(m.vals) != 0 || len(m.uops) != 0 || len(m.readIdx) != 0 ||
+		len(m.writeIdx) != 0 || len(m.writeLat) != 0 ||
+		len(m.sched) != 0 || len(m.elim) != 0 || len(m.memBoard) != 0 {
+		panic("pipesim: Reset left arena or queue state behind")
+	}
+	for i := range m.regBoard {
+		if m.regBoard[i] != -1 {
+			panic(fmt.Sprintf("pipesim: Reset left register scoreboard entry %s", isa.Reg(i)))
+		}
+	}
+	for i := range m.flagBoard {
+		if m.flagBoard[i] != -1 {
+			panic(fmt.Sprintf("pipesim: Reset left flag scoreboard entry %s", isa.Flag(i)))
+		}
+	}
+	for i := range m.produced {
+		if m.produced[i] {
+			panic(fmt.Sprintf("pipesim: Reset left produced mark for %s", isa.Reg(i)))
+		}
+	}
+	for p, l := range m.portLoad {
+		if l != 0 {
+			panic(fmt.Sprintf("pipesim: Reset left load on port %d", p))
+		}
+	}
 }
-
-// resKey identifies an architectural resource for dependency tracking.
-type resKey struct {
-	kind int // 0=register family, 1=flag, 2=memory address
-	id   uint64
-}
-
-func regKey(r isa.Reg) resKey   { return resKey{kind: 0, id: uint64(r.Family())} }
-func flagKey(f isa.Flag) resKey { return resKey{kind: 1, id: uint64(f)} }
-func memKey(addr uint64) resKey { return resKey{kind: 2, id: addr} }
 
 // Run simulates the code sequence starting from an idle pipeline with all
 // inputs ready, and returns the performance counters.
 func (m *Machine) Run(code asmgen.Sequence) (Counters, error) {
-	uops, penalty, err := m.rename(code)
+	m.Reset()
+	if raceEnabled {
+		m.checkResetInvariants()
+	}
+	penalty, err := m.rename(code)
 	if err != nil {
 		return Counters{}, err
 	}
-	c := m.execute(uops)
+	c := m.execute()
 	c.Cycles += penalty
 	return c, nil
 }
@@ -193,44 +338,97 @@ func (m *Machine) MustRun(code asmgen.Sequence) Counters {
 	return c
 }
 
+// perfFor returns the cached performance description for a variant,
+// consulting the Arch only on the first occurrence per Machine.
+func (m *Machine) perfFor(in *isa.Instr) *uarch.InstrPerf {
+	if p, ok := m.perf[in]; ok {
+		return p
+	}
+	p := m.arch.Perf(in)
+	m.perf[in] = p
+	return p
+}
+
+// newVal appends a renamed value to the arena and returns its index.
+func (m *Machine) newVal(ready int32, known bool, dom isa.Domain) int32 {
+	idx := int32(len(m.vals))
+	m.vals = append(m.vals, dynVal{ready: ready, known: known, domain: dom})
+	return idx
+}
+
+// liveInReg returns the latest renamed value of r's register family,
+// materializing a ready live-in value on first touch.
+func (m *Machine) liveInReg(r isa.Reg, dom isa.Domain) int32 {
+	fam := r.Family()
+	if v := m.regBoard[fam]; v >= 0 {
+		return v
+	}
+	v := m.newVal(0, true, dom)
+	m.regBoard[fam] = v
+	return v
+}
+
+// liveInFlag is liveInReg for a single status flag.
+func (m *Machine) liveInFlag(f isa.Flag) int32 {
+	if v := m.flagBoard[f]; v >= 0 {
+		return v
+	}
+	v := m.newVal(0, true, isa.DomainInt)
+	m.flagBoard[f] = v
+	return v
+}
+
+// liveInMem is liveInReg for a renamed memory slot.
+func (m *Machine) liveInMem(addr uint64, dom isa.Domain) int32 {
+	if v, ok := m.memBoard[addr]; ok {
+		return v
+	}
+	v := m.newVal(0, true, dom)
+	m.memBoard[addr] = v
+	return v
+}
+
+// growTemps ensures the temp slot tables cover index idx.
+func (m *Machine) growTemps(idx int) {
+	for len(m.tempVal) <= idx {
+		m.tempVal = append(m.tempVal, -1)
+		m.tempEpoch = append(m.tempEpoch, 0)
+	}
+}
+
+// appendWrite records one written value (and its latency) for the µop under
+// construction.
+func (m *Machine) appendWrite(v, lat int32) {
+	m.writeIdx = append(m.writeIdx, v)
+	m.writeLat = append(m.writeLat, lat)
+}
+
 // rename performs the program-order pre-pass: it decomposes every instruction
 // into dynamic µops, resolves register/flag/memory dependencies to renamed
 // values, applies zero-idiom and same-register special cases, and computes
-// the SSE/AVX transition penalty.
-func (m *Machine) rename(code asmgen.Sequence) ([]*dynUop, int, error) {
-	latest := make(map[resKey]*dynVal)
-	liveIn := func(k resKey, dom isa.Domain) *dynVal {
-		if v, ok := latest[k]; ok {
-			return v
-		}
-		v := &dynVal{ready: 0, known: true, domain: dom}
-		latest[k] = v
-		return v
-	}
-
-	var uops []*dynUop
+// the SSE/AVX transition penalty. All state it builds lives in the Machine's
+// arenas; steady-state calls allocate nothing.
+func (m *Machine) rename(code asmgen.Sequence) (int, error) {
 	penalty := 0
 	avxDirty := false
 	depMoveCounter := 0
-	// produced tracks register families written by earlier instructions in
-	// the measured code (as opposed to live-in values), which is what decides
-	// whether a register-to-register move is trivially eliminable.
-	produced := make(map[resKey]bool)
+	numPorts := m.arch.NumPorts()
 
 	for _, inst := range code {
 		in := inst.Variant
-		perf := m.arch.Perf(in)
+		perf := m.perfFor(in)
 
 		// SSE/AVX transition penalty (Section 5.1.1 explains why blocking
 		// instructions are chosen per extension family to avoid this).
 		if p := m.arch.SSEAVXPenalty(); p > 0 {
 			switch {
 			case in.Extension.IsAVX():
-				for _, op := range in.ExplicitOperands() {
+				in.ForEachExplicit(func(_ int, op *isa.Operand) bool {
 					if op.Class == isa.ClassYMM {
 						avxDirty = true
 					}
-				}
+					return true
+				})
 			case in.Extension.IsSSE() && avxDirty:
 				penalty += p
 				avxDirty = false
@@ -254,7 +452,7 @@ func (m *Machine) rename(code asmgen.Sequence) ([]*dynUop, int, error) {
 		moveElim := false
 		if perf.MoveElim && isRegRegMove(inst) {
 			srcOp := inst.Ops[1]
-			if !produced[regKey(srcOp.Reg)] {
+			if !m.produced[srcOp.Reg.Family()] {
 				moveElim = true
 			} else {
 				depMoveCounter++
@@ -263,43 +461,46 @@ func (m *Machine) rename(code asmgen.Sequence) ([]*dynUop, int, error) {
 		}
 
 		domain := in.Domain
-		temps := make(map[int]*dynVal)
+		m.tempGen++ // invalidates the previous instruction's temp slots
 
 		for ui := range perf.Uops {
 			spec := &perf.Uops[ui]
-			du := &dynUop{
-				ports:   spec.Ports,
+			uix := len(m.uops)
+			m.uops = append(m.uops, dynUop{
 				divider: spec.Divider,
-				divOcc:  spec.DivOccupancy,
+				divOcc:  int32(spec.DivOccupancy),
 				domain:  domain,
-			}
+			})
+			du := &m.uops[uix]
+			mask := portMaskFor(spec.Ports, numPorts)
 			if len(spec.Ports) == 0 {
 				du.eliminated = true
 			}
-			if zeroIdiom {
-				if perf.ZeroIdiomElim {
-					du.eliminated = true
-					du.ports = nil
-				}
+			if zeroIdiom && perf.ZeroIdiomElim {
+				du.eliminated = true
+				mask = 0
 			}
 			if moveElim {
 				du.eliminated = true
-				du.ports = nil
+				mask = 0
 			}
+			du.portMask = mask
 			if spec.Divider && m.cfg.DividerValues == FastDividerValues {
-				du.divOcc = perf.DivOccupancyLowValues
+				du.divOcc = int32(perf.DivOccupancyLowValues)
 			}
 
 			// Resolve reads. Store-address µops only depend on the address
 			// registers of the memory operand, not on the previous memory
 			// contents.
+			du.rdStart = int32(len(m.readIdx))
 			for _, ref := range spec.Reads {
 				if zeroIdiom && ref.Kind == uarch.ValOperand && in.Operands[ref.Index].Kind == isa.OpReg {
 					continue // the idiom breaks the dependency on the register
 				}
-				du.reads = append(du.reads, m.resolveReads(inst, ref, temps, latest, liveIn, spec.StoreAddr)...)
+				m.resolveReads(inst, ref, spec.StoreAddr)
 			}
-			// Resolve writes.
+			// Resolve writes (partial-register merges append extra reads).
+			du.wrStart = int32(len(m.writeIdx))
 			for wi, ref := range spec.Writes {
 				lat := spec.LatencyTo(wi)
 				if spec.Load {
@@ -311,144 +512,155 @@ func (m *Machine) rename(code asmgen.Sequence) ([]*dynUop, int, error) {
 				if lat < 1 && !du.eliminated {
 					lat = 1
 				}
-				newVals, mergeReads := m.resolveWrites(inst, ref, temps, latest, liveIn, domain)
-				du.reads = append(du.reads, mergeReads...)
-				for _, nv := range newVals {
-					du.writes = append(du.writes, nv)
-					du.writeLat = append(du.writeLat, lat)
-				}
+				m.resolveWrites(inst, ref, domain, int32(lat))
 				if ref.Kind == uarch.ValOperand && ref.Index < len(in.Operands) {
 					op := in.Operands[ref.Index]
 					if op.Kind == isa.OpReg {
 						if r := inst.OperandFor(ref.Index).Reg; r != isa.RegNone {
-							produced[regKey(r)] = true
+							m.produced[r.Family()] = true
 						}
 					}
 				}
 			}
+			du.rdEnd = int32(len(m.readIdx))
+			du.wrEnd = int32(len(m.writeIdx))
+
 			// A µop never waits for values it produces itself (this can
 			// otherwise happen through partial-register merge reads when two
 			// written operands alias the same register).
-			if len(du.writes) > 0 && len(du.reads) > 0 {
-				own := make(map[*dynVal]bool, len(du.writes))
-				for _, w := range du.writes {
-					own[w] = true
-				}
-				kept := du.reads[:0]
-				for _, r := range du.reads {
-					if !own[r] {
-						kept = append(kept, r)
+			if du.wrEnd > du.wrStart && du.rdEnd > du.rdStart {
+				kept := du.rdStart
+				for ri := du.rdStart; ri < du.rdEnd; ri++ {
+					v := m.readIdx[ri]
+					own := false
+					for wi := du.wrStart; wi < du.wrEnd; wi++ {
+						if m.writeIdx[wi] == v {
+							own = true
+							break
+						}
+					}
+					if !own {
+						m.readIdx[kept] = v
+						kept++
 					}
 				}
-				du.reads = kept
+				du.rdEnd = kept
+				m.readIdx = m.readIdx[:kept]
 			}
-			uops = append(uops, du)
 		}
 	}
-	return uops, penalty, nil
+	return penalty, nil
 }
 
-// resolveReads maps a µop read reference to the renamed values it consumes.
-// addrOnly restricts memory operands to their address registers (used for
-// store-address µops, which do not consume the previous memory contents).
-func (m *Machine) resolveReads(inst *asmgen.Inst, ref uarch.ValRef, temps map[int]*dynVal,
-	latest map[resKey]*dynVal, liveIn func(resKey, isa.Domain) *dynVal, addrOnly bool) []*dynVal {
-
+// resolveReads appends the renamed values a µop read reference consumes to
+// the current µop's read segment. addrOnly restricts memory operands to
+// their address registers (used for store-address µops, which do not consume
+// the previous memory contents).
+func (m *Machine) resolveReads(inst *asmgen.Inst, ref uarch.ValRef, addrOnly bool) {
 	if ref.Kind == uarch.ValTemp {
-		if v, ok := temps[ref.Index]; ok {
-			return []*dynVal{v}
+		if ref.Index < 0 {
+			// Defensive: a read of an impossible temp is treated as ready.
+			m.readIdx = append(m.readIdx, m.newVal(0, true, isa.DomainInt))
+			return
 		}
-		// A read of a temp that has no producer (defensive): treat as ready.
-		v := &dynVal{ready: 0, known: true}
-		temps[ref.Index] = v
-		return []*dynVal{v}
+		m.growTemps(ref.Index)
+		if m.tempEpoch[ref.Index] != m.tempGen {
+			// A read of a temp that has no producer (defensive): treat as
+			// ready.
+			m.tempVal[ref.Index] = m.newVal(0, true, isa.DomainInt)
+			m.tempEpoch[ref.Index] = m.tempGen
+		}
+		m.readIdx = append(m.readIdx, m.tempVal[ref.Index])
+		return
 	}
 	in := inst.Variant
 	if ref.Index < 0 || ref.Index >= len(in.Operands) {
-		return nil
+		return
 	}
-	spec := in.Operands[ref.Index]
+	spec := &in.Operands[ref.Index]
 	conc := inst.OperandFor(ref.Index)
 	switch spec.Kind {
 	case isa.OpReg:
 		r := conc.Reg
 		if r == isa.RegNone {
-			return nil
+			return
 		}
-		return []*dynVal{liveIn(regKey(r), in.Domain)}
+		m.readIdx = append(m.readIdx, m.liveInReg(r, in.Domain))
 	case isa.OpMem:
 		if conc.Mem == nil {
-			return nil
+			return
 		}
 		if addrOnly {
-			return []*dynVal{liveIn(regKey(conc.Mem.Base), isa.DomainInt)}
+			m.readIdx = append(m.readIdx, m.liveInReg(conc.Mem.Base, isa.DomainInt))
+			return
 		}
 		// A memory read depends on the address register and on the latest
 		// store to the same address (store-to-load forwarding resolves
 		// through the renamed memory value).
-		return []*dynVal{
-			liveIn(regKey(conc.Mem.Base), isa.DomainInt),
-			liveIn(memKey(conc.Mem.Addr), in.Domain),
-		}
+		m.readIdx = append(m.readIdx, m.liveInReg(conc.Mem.Base, isa.DomainInt))
+		m.readIdx = append(m.readIdx, m.liveInMem(conc.Mem.Addr, in.Domain))
 	case isa.OpFlags:
-		var out []*dynVal
-		for _, f := range spec.ReadFlags.Flags() {
-			out = append(out, liveIn(flagKey(f), isa.DomainInt))
+		for f := isa.Flag(0); f < isa.NumFlags; f++ {
+			if spec.ReadFlags.Has(f) {
+				m.readIdx = append(m.readIdx, m.liveInFlag(f))
+			}
 		}
-		return out
 	}
-	return nil
 }
 
-// resolveWrites maps a µop write reference to freshly renamed values, and
-// returns any additional reads implied by partial-register merges.
-func (m *Machine) resolveWrites(inst *asmgen.Inst, ref uarch.ValRef, temps map[int]*dynVal,
-	latest map[resKey]*dynVal, liveIn func(resKey, isa.Domain) *dynVal, domain isa.Domain) (writes, mergeReads []*dynVal) {
-
+// resolveWrites appends freshly renamed values for a µop write reference to
+// the current µop's write segment (with latency lat), and appends any reads
+// implied by partial-register merges to the read segment.
+func (m *Machine) resolveWrites(inst *asmgen.Inst, ref uarch.ValRef, domain isa.Domain, lat int32) {
 	if ref.Kind == uarch.ValTemp {
-		v := &dynVal{domain: domain}
-		temps[ref.Index] = v
-		return []*dynVal{v}, nil
+		v := m.newVal(0, false, domain)
+		if ref.Index >= 0 {
+			m.growTemps(ref.Index)
+			m.tempVal[ref.Index] = v
+			m.tempEpoch[ref.Index] = m.tempGen
+		}
+		m.appendWrite(v, lat)
+		return
 	}
 	in := inst.Variant
 	if ref.Index < 0 || ref.Index >= len(in.Operands) {
-		return nil, nil
+		return
 	}
-	spec := in.Operands[ref.Index]
+	spec := &in.Operands[ref.Index]
 	conc := inst.OperandFor(ref.Index)
 	switch spec.Kind {
 	case isa.OpReg:
 		r := conc.Reg
 		if r == isa.RegNone {
-			return nil, nil
+			return
 		}
 		// Writing an 8- or 16-bit part of a general-purpose register merges
 		// with the previous contents (the cause of partial-register stalls,
 		// Section 5.2.1); the merge is modelled as an extra read of the old
 		// value.
 		if spec.Class == isa.ClassGPR8 || spec.Class == isa.ClassGPR16 {
-			mergeReads = append(mergeReads, liveIn(regKey(r), in.Domain))
+			m.readIdx = append(m.readIdx, m.liveInReg(r, in.Domain))
 		}
-		v := &dynVal{domain: domain}
-		latest[regKey(r)] = v
-		return []*dynVal{v}, mergeReads
+		v := m.newVal(0, false, domain)
+		m.regBoard[r.Family()] = v
+		m.appendWrite(v, lat)
 	case isa.OpMem:
 		if conc.Mem == nil {
-			return nil, nil
+			return
 		}
-		mergeReads = append(mergeReads, liveIn(regKey(conc.Mem.Base), isa.DomainInt))
-		v := &dynVal{domain: domain}
-		latest[memKey(conc.Mem.Addr)] = v
-		return []*dynVal{v}, mergeReads
+		m.readIdx = append(m.readIdx, m.liveInReg(conc.Mem.Base, isa.DomainInt))
+		v := m.newVal(0, false, domain)
+		m.memBoard[conc.Mem.Addr] = v
+		m.appendWrite(v, lat)
 	case isa.OpFlags:
-		for _, f := range spec.WriteFlags.Flags() {
-			v := &dynVal{domain: isa.DomainInt}
-			latest[flagKey(f)] = v
-			writes = append(writes, v)
+		for f := isa.Flag(0); f < isa.NumFlags; f++ {
+			if spec.WriteFlags.Has(f) {
+				v := m.newVal(0, false, isa.DomainInt)
+				m.flagBoard[f] = v
+				m.appendWrite(v, lat)
+			}
 		}
-		return writes, nil
 	}
-	return nil, nil
 }
 
 // allExplicitRegsEqual reports whether all explicit register operands of the
@@ -456,17 +668,23 @@ func (m *Machine) resolveWrites(inst *asmgen.Inst, ref uarch.ValRef, temps map[i
 func allExplicitRegsEqual(inst *asmgen.Inst) (bool, int) {
 	var first isa.Reg
 	count := 0
-	for i, spec := range inst.Variant.ExplicitOperands() {
+	equal := true
+	inst.Variant.ForEachExplicit(func(i int, spec *isa.Operand) bool {
 		if spec.Kind != isa.OpReg {
-			continue
+			return true
 		}
 		r := inst.Ops[i].Reg
 		count++
 		if count == 1 {
 			first = r
 		} else if r != first {
-			return false, count
+			equal = false
+			return false
 		}
+		return true
+	})
+	if !equal {
+		return false, count
 	}
 	return count > 0, count
 }
@@ -474,12 +692,23 @@ func allExplicitRegsEqual(inst *asmgen.Inst) (bool, int) {
 // isRegRegMove reports whether the concrete instruction is a plain
 // register-to-register move with two explicit register operands.
 func isRegRegMove(inst *asmgen.Inst) bool {
-	expl := inst.Variant.ExplicitOperands()
-	if len(expl) != 2 {
+	expl := 0
+	var dst, src *isa.Operand
+	inst.Variant.ForEachExplicit(func(i int, spec *isa.Operand) bool {
+		switch i {
+		case 0:
+			dst = spec
+		case 1:
+			src = spec
+		}
+		expl++
+		return expl <= 2
+	})
+	if expl != 2 {
 		return false
 	}
-	return expl[0].Kind == isa.OpReg && expl[1].Kind == isa.OpReg &&
-		expl[0].Write && !expl[0].Read && expl[1].Read && !expl[1].Write
+	return dst.Kind == isa.OpReg && src.Kind == isa.OpReg &&
+		dst.Write && !dst.Read && src.Read && !src.Write
 }
 
 // bypassDelay returns the extra forwarding latency when a value produced in
@@ -495,65 +724,71 @@ func bypassDelay(from, to isa.Domain) int {
 	return 0
 }
 
-// execute runs the cycle-by-cycle issue/dispatch loop.
-func (m *Machine) execute(uops []*dynUop) Counters {
+// execute runs the issue/dispatch loop. It is event-driven: cycles in which
+// provably nothing can issue, complete or dispatch are skipped in one step
+// to the next ready event instead of being walked one by one.
+func (m *Machine) execute() Counters {
 	numPorts := m.arch.NumPorts()
 	c := Counters{PortUops: make([]int, numPorts)}
-	c.IssuedUops = len(uops)
+	c.IssuedUops = len(m.uops)
 
 	issueWidth := m.arch.IssueWidth()
 	schedSize := m.cfg.SchedulerSize
 
-	var sched []*dynUop // issued, waiting for dispatch
-	var elim []*dynUop  // issued, handled at rename, waiting for inputs to be known
-	nextIssue := 0      // next µop (program order) to issue
-	dividerFreeAt := 0  // next cycle the divider can accept a µop
-	portLoad := make([]int, numPorts)
+	sched := m.sched[:0] // issued, waiting for dispatch
+	elim := m.elim[:0]   // issued, handled at rename, waiting for inputs to be known
+	nextIssue := 0       // next µop (program order) to issue
+	dividerFreeAt := 0   // next cycle the divider can accept a µop
 	finish := 0
 
 	cycle := 0
 	idleCycles := 0
 	for cycle < m.cfg.MaxCycles {
 		// Issue stage: deliver up to issueWidth µops into the scheduler (or
-		// complete them directly if they need no execution port).
+		// complete them directly if they need no execution port). The
+		// scheduler window counts only µops still waiting for dispatch; a
+		// µop's entry is reclaimed at the end of its dispatch cycle (see
+		// Config.SchedulerSize).
 		issued := 0
-		for nextIssue < len(uops) && issued < issueWidth && len(sched) < schedSize {
-			u := uops[nextIssue]
+		for nextIssue < len(m.uops) && issued < issueWidth && len(sched) < schedSize {
+			ui := int32(nextIssue)
 			nextIssue++
 			issued++
-			if u.eliminated {
+			if m.uops[ui].eliminated {
 				c.ElimUops++
-				elim = append(elim, u)
+				elim = append(elim, ui)
 				continue
 			}
-			sched = append(sched, u)
+			sched = append(sched, ui)
 		}
 
 		// Rename-handled µops complete as soon as their inputs are known;
 		// their outputs are ready when their inputs are (zero latency).
 		if len(elim) > 0 {
 			kept := elim[:0]
-			for _, u := range elim {
+			for _, ui := range elim {
+				u := &m.uops[ui]
 				allKnown := true
 				ready := cycle
-				for _, r := range u.reads {
-					if !r.known {
+				for ri := u.rdStart; ri < u.rdEnd; ri++ {
+					v := &m.vals[m.readIdx[ri]]
+					if !v.known {
 						allKnown = false
 						break
 					}
-					if r.ready > ready {
-						ready = r.ready
+					if int(v.ready) > ready {
+						ready = int(v.ready)
 					}
 				}
 				if !allKnown {
-					kept = append(kept, u)
+					kept = append(kept, ui)
 					continue
 				}
-				for i, w := range u.writes {
-					_ = i
-					w.ready = ready
-					w.known = true
-					w.domain = u.domain
+				for wi := u.wrStart; wi < u.wrEnd; wi++ {
+					v := &m.vals[m.writeIdx[wi]]
+					v.ready = int32(ready)
+					v.known = true
+					v.domain = u.domain
 				}
 				if ready > finish {
 					finish = ready
@@ -564,15 +799,18 @@ func (m *Machine) execute(uops []*dynUop) Counters {
 		}
 
 		// Dispatch stage: oldest-first, one µop per port per cycle.
-		portTaken := make([]bool, numPorts)
+		var takenMask uint16
 		dispatchedAny := false
-		for _, u := range sched {
-			if u.dispatched {
+		for _, ui := range sched {
+			u := &m.uops[ui]
+			avail := u.portMask &^ takenMask
+			if avail == 0 {
 				continue
 			}
 			ready := true
-			for _, r := range u.reads {
-				if !r.known || r.ready+bypassDelay(r.domain, u.domain) > cycle {
+			for ri := u.rdStart; ri < u.rdEnd; ri++ {
+				v := &m.vals[m.readIdx[ri]]
+				if !v.known || int(v.ready)+bypassDelay(v.domain, u.domain) > cycle {
 					ready = false
 					break
 				}
@@ -583,67 +821,87 @@ func (m *Machine) execute(uops []*dynUop) Counters {
 			if u.divider && cycle < dividerFreeAt {
 				continue
 			}
-			p := choosePort(u.ports, portTaken, portLoad)
-			if p < 0 {
-				continue
-			}
-			portTaken[p] = true
-			portLoad[p]++
+			p := choosePort(avail, &m.portLoad)
+			takenMask |= 1 << uint(p)
+			m.portLoad[p]++
 			c.PortUops[p]++
 			c.TotalUops++
 			u.dispatched = true
 			dispatchedAny = true
 			if u.divider {
-				occ := u.divOcc
+				occ := int(u.divOcc)
 				if occ < 1 {
 					occ = 1
 				}
 				dividerFreeAt = cycle + occ
 			}
-			for i, w := range u.writes {
-				lat := u.writeLat[i]
-				if lat < 1 {
-					lat = 1
-				}
-				w.ready = cycle + lat
-				w.known = true
-				w.domain = u.domain
-				if w.ready > finish {
-					finish = w.ready
+			// Write latencies were clamped to >= 1 at rename, so dispatch
+			// needs no re-clamp here.
+			for wi := u.wrStart; wi < u.wrEnd; wi++ {
+				v := &m.vals[m.writeIdx[wi]]
+				v.ready = int32(cycle) + m.writeLat[wi]
+				v.known = true
+				v.domain = u.domain
+				if int(v.ready) > finish {
+					finish = int(v.ready)
 				}
 			}
-			if len(u.writes) == 0 && cycle+1 > finish {
+			if u.wrStart == u.wrEnd && cycle+1 > finish {
 				finish = cycle + 1
 			}
 		}
-		// Compact the scheduler.
+		// Compact dispatched µops out of the scheduler, freeing their window
+		// entries for the next cycle's issue group.
 		if len(sched) > 0 {
 			kept := sched[:0]
-			for _, u := range sched {
-				if !u.dispatched {
-					kept = append(kept, u)
+			for _, ui := range sched {
+				if !m.uops[ui].dispatched {
+					kept = append(kept, ui)
 				}
 			}
 			sched = kept
 		}
 
 		cycle++
-		if nextIssue >= len(uops) && len(sched) == 0 && len(elim) == 0 {
+		if nextIssue >= len(m.uops) && len(sched) == 0 && len(elim) == 0 {
 			break
 		}
-		// Deadlock guard: µops are stuck waiting for values that are blocked
-		// forever (a modelling bug rather than a property of the code under
-		// test); a divider occupancy can legitimately stall dispatch for a
-		// bounded number of cycles, so allow a generous margin.
 		if issued == 0 && !dispatchedAny {
+			// Deadlock guard: µops stuck waiting for values that are blocked
+			// forever (a modelling bug rather than a property of the code
+			// under test); a divider occupancy can legitimately stall
+			// dispatch for a bounded number of cycles, so allow a generous
+			// margin.
 			idleCycles++
 			if idleCycles > 10000 {
 				break
+			}
+			// Event-driven fast-forward: an idle cycle changes nothing —
+			// issue stays blocked (the scheduler did not drain), pending
+			// eliminated µops keep waiting for a dispatch, and no value
+			// becomes known. Jump directly to the earliest cycle at which a
+			// waiting µop can dispatch, charging the skipped cycles against
+			// the same deadlock budget the one-by-one walk would have used.
+			if skip := m.nextEventSkip(cycle, sched, dividerFreeAt); skip > 0 {
+				if maxIdle := 10001 - idleCycles; skip > maxIdle {
+					skip = maxIdle // the guard fires mid-wait, as before
+				}
+				if cycle+skip > m.cfg.MaxCycles {
+					skip = m.cfg.MaxCycles - cycle
+				}
+				if skip > 0 {
+					cycle += skip
+					idleCycles += skip
+					if idleCycles > 10000 {
+						break
+					}
+				}
 			}
 		} else {
 			idleCycles = 0
 		}
 	}
+	m.sched, m.elim = sched[:0], elim[:0] // return capacity to the Machine
 
 	if finish < cycle {
 		finish = cycle
@@ -652,17 +910,76 @@ func (m *Machine) execute(uops []*dynUop) Counters {
 	return c
 }
 
-// choosePort picks an allowed, free port for a µop, preferring the port with
-// the lowest accumulated load (a simple load-balancing heuristic similar in
-// spirit to the hardware's port-binding policy). It returns -1 if no allowed
-// port is free this cycle.
-func choosePort(allowed []int, taken []bool, load []int) int {
-	best := -1
-	for _, p := range allowed {
-		if p < 0 || p >= len(taken) || taken[p] {
+// nextEventSkip returns how many cycles can elapse before any waiting µop
+// could possibly dispatch: the distance from cycle to the earliest
+// input-ready time (including bypass delays and divider occupancy) over all
+// scheduler entries whose inputs are all known. µops with unknown inputs
+// need another dispatch first, so they cannot precede that event. A huge
+// value is returned when no event can ever occur (a deadlock); the caller's
+// guard budget then bounds the jump exactly like the one-by-one walk.
+func (m *Machine) nextEventSkip(cycle int, sched []int32, dividerFreeAt int) int {
+	next := -1
+	for _, ui := range sched {
+		u := &m.uops[ui]
+		if u.portMask == 0 {
+			continue // no valid port on this generation: can never dispatch
+		}
+		t := cycle
+		known := true
+		for ri := u.rdStart; ri < u.rdEnd; ri++ {
+			v := &m.vals[m.readIdx[ri]]
+			if !v.known {
+				known = false
+				break
+			}
+			if rt := int(v.ready) + bypassDelay(v.domain, u.domain); rt > t {
+				t = rt
+			}
+		}
+		if !known {
 			continue
 		}
-		if best == -1 || load[p] < load[best] {
+		if u.divider && t < dividerFreeAt {
+			t = dividerFreeAt
+		}
+		if t <= cycle {
+			return 0
+		}
+		if next < 0 || t < next {
+			next = t
+		}
+	}
+	if next < 0 {
+		return 1 << 30
+	}
+	return next - cycle
+}
+
+// portMaskFor converts a µop's allowed-port list into a bitmask, dropping
+// ports the generation does not have (matching the old slice-walking
+// choosePort, which skipped them).
+func portMaskFor(ports []int, numPorts int) uint16 {
+	var mask uint16
+	for _, p := range ports {
+		if p >= 0 && p < numPorts {
+			mask |= 1 << uint(p)
+		}
+	}
+	return mask
+}
+
+// choosePort picks the free, allowed port with the lowest accumulated load
+// (a simple load-balancing heuristic similar in spirit to the hardware's
+// port-binding policy) from a non-empty availability mask. Ties go to the
+// lowest-numbered port; the µop tables list ports in ascending order (pinned
+// by TestPortSetsAscending in package uarch), so this reproduces the
+// first-listed-port-wins tie-break of the earlier slice-walking
+// implementation exactly.
+func choosePort(avail uint16, load *[maxPorts]int32) int {
+	best := -1
+	for mk := avail; mk != 0; mk &= mk - 1 {
+		p := bits.TrailingZeros16(mk)
+		if best < 0 || load[p] < load[best] {
 			best = p
 		}
 	}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package pipesim
+
+// raceEnabled gates the Reset invariant checks; see race_enabled.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package pipesim
+
+// raceEnabled gates the Reset invariant checks: they run exactly where the
+// determinism and differential suites run (make ci uses -race), and stay out
+// of the production hot path.
+const raceEnabled = true

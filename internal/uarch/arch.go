@@ -172,8 +172,12 @@ type Arch struct {
 	setOnce sync.Once
 	set     *isa.Set
 
+	// perfCache maps variant name → *InstrPerf. It is a sync.Map because
+	// Perf sits on the simulator's rename hot path and is shared by every
+	// concurrent worker stack of a generation: reads must not contend on a
+	// lock. perfMu only serializes the builders on a cache miss.
 	perfMu    sync.Mutex
-	perfCache map[string]*InstrPerf
+	perfCache sync.Map
 	overrides map[string]*InstrPerf
 }
 
@@ -242,12 +246,15 @@ func (a *Arch) InstrSet() *isa.Set {
 
 // Perf returns the ground-truth performance description of the given
 // instruction variant on this generation. The result is cached and must be
-// treated as read-only.
+// treated as read-only. The cached path is lock-free.
 func (a *Arch) Perf(in *isa.Instr) *InstrPerf {
+	if p, ok := a.perfCache.Load(in.Name); ok {
+		return p.(*InstrPerf)
+	}
 	a.perfMu.Lock()
 	defer a.perfMu.Unlock()
-	if p, ok := a.perfCache[in.Name]; ok {
-		return p
+	if p, ok := a.perfCache.Load(in.Name); ok {
+		return p.(*InstrPerf)
 	}
 	var p *InstrPerf
 	if ov, ok := a.overrides[in.Name]; ok {
@@ -255,7 +262,7 @@ func (a *Arch) Perf(in *isa.Instr) *InstrPerf {
 	} else {
 		p = a.buildPerf(in)
 	}
-	a.perfCache[in.Name] = p
+	a.perfCache.Store(in.Name, p)
 	return p
 }
 
@@ -314,7 +321,6 @@ func buildArchs() {
 			gen:        g,
 			prof:       prof,
 			extensions: extensionsFor(g),
-			perfCache:  make(map[string]*InstrPerf),
 		}
 		a.overrides = overridesFor(a)
 		archs[g] = a

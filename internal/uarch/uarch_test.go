@@ -314,3 +314,32 @@ func TestUopReferencesProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestPortSetsAscending pins that every µop's allowed-port list — across all
+// generations, all variants, and all same-register overrides — is strictly
+// ascending. The simulator's dispatch stage represents port sets as bitmasks
+// and breaks load ties toward the lowest-numbered port, which reproduces the
+// historical first-listed-port-wins rule only because the lists are sorted;
+// an unsorted list added here would silently change simulated port counters.
+func TestPortSetsAscending(t *testing.T) {
+	t.Parallel()
+	checkPerf := func(name string, p *InstrPerf) {
+		for ui := range p.Uops {
+			ports := p.Uops[ui].Ports
+			for i := 1; i < len(ports); i++ {
+				if ports[i] <= ports[i-1] {
+					t.Errorf("%s µop %d: port list %v is not strictly ascending", name, ui, ports)
+				}
+			}
+		}
+	}
+	for _, a := range All() {
+		for _, in := range a.InstrSet().Instrs() {
+			perf := a.Perf(in)
+			checkPerf(a.Name()+"/"+in.Name, perf)
+			if perf.SameRegOverride != nil {
+				checkPerf(a.Name()+"/"+in.Name+"/same-reg", perf.SameRegOverride)
+			}
+		}
+	}
+}
