@@ -89,10 +89,12 @@ run-uopsd:
 	$(GO) run ./cmd/uopsd -cache .uopsd-cache -v
 
 # ci-service gates the HTTP characterization service under the race
-# detector: the endpoint suite (including the deterministic coalescing
-# storm), then the end-to-end test that binds the real uopsd server to an
-# ephemeral port, fires concurrent identical requests and asserts via
-# /v1/stats that exactly one measurement run served them all.
+# detector: the endpoint suite (the deterministic coalescing storm, the
+# async-job lifecycle/coalescing/TTL tests, conditional GETs, rate limiting,
+# and the panic/format/client-gone regressions), then the end-to-end
+# TestUopsd* suite that binds the real uopsd server to an ephemeral port —
+# coalescing storm, jobs end to end, rate-limit flags, and shutdown with a
+# job still measuring.
 ci-service:
 	$(GO) test -race -count=1 ./internal/service
 	$(GO) test -race -count=1 -run 'TestUopsd' ./cmd/uopsd

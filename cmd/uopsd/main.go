@@ -4,21 +4,31 @@
 //
 // Usage:
 //
-//	uopsd [-addr localhost:8631] [-j 8] [-cache DIR] [-backend pipesim] [-v]
+//	uopsd [-addr localhost:8631] [-j 8] [-cache DIR] [-backend pipesim]
+//	      [-rate N -burst M] [-job-ttl 15m] [-drain 10s] [-v]
 //
 // Endpoints:
 //
-//	GET /healthz                       liveness probe
-//	GET /v1/backends                   the measurement-backend registry
-//	GET /v1/stats                      engine + coalescing + request counters
-//	GET /v1/arch/{gen}                 full characterization (?only=..., ?quick=1, ?format=xml)
-//	GET /v1/arch/{gen}/variant/{name}  a single instruction variant
+//	GET  /healthz                       liveness probe
+//	GET  /metrics                       Prometheus-style counter exposition
+//	GET  /v1/backends                   the measurement-backend registry
+//	GET  /v1/stats                      engine + coalescing + request counters
+//	GET  /v1/arch/{gen}                 full characterization (?only=..., ?quick=1, ?format=xml)
+//	GET  /v1/arch/{gen}/variant/{name}  a single instruction variant
+//	POST /v1/jobs                       async characterization (?gen=..., same query surface)
+//	GET  /v1/jobs[/{id}[/stream|/result]]  job listing, progress, streaming, result
 //
-// The server owns one engine: concurrent identical queries are coalesced
-// into a single measurement run, and with -cache the run's results persist,
-// so repeated and subsequent queries are warm store hits. Generation names
-// in URLs are case-insensitive with separators ignored ("sandy-bridge").
-// SIGINT/SIGTERM shut the server down gracefully.
+// The server owns one engine: concurrent identical queries — synchronous and
+// jobs alike — are coalesced into a single measurement run, and with -cache
+// the run's results persist, so repeated and subsequent queries are warm
+// store hits (and conditional GETs with If-None-Match answer 304 without
+// touching the engine). -rate enables a token-bucket rate limiter (requests
+// per second, -burst deep), off by default. Generation names in URLs are
+// case-insensitive with separators ignored ("sandy-bridge"). SIGINT/SIGTERM
+// shut the server down gracefully: the listener drains, in-flight jobs get a
+// completion deadline, and any still-running measurement — including a
+// detached coalesced run whose waiters all went away — is cancelled and
+// quiesced before the process exits.
 package main
 
 import (
@@ -68,6 +78,10 @@ func run(ctx context.Context, args []string, stdout io.Writer, logger *log.Logge
 	jobs := fs.Int("j", runtime.NumCPU(), "total number of parallel measurement workers")
 	cacheDir := fs.String("cache", "", "directory of the persistent result store (results survive restarts and are shared with the CLI tools)")
 	backendName := fs.String("backend", "", `measurement backend to serve from (default: "`+measure.DefaultBackend+`")`)
+	rate := fs.Float64("rate", 0, "rate limit in requests per second across all endpoints except /healthz and /metrics (0 disables limiting)")
+	burst := fs.Int("burst", 0, "rate-limiter burst depth (default: ceil of -rate)")
+	jobTTL := fs.Duration("job-ttl", service.DefaultJobTTL, "how long finished async jobs stay listed and fetchable")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests and async jobs before running measurements are cancelled")
 	verbose := fs.Bool("v", false, "log engine cache diagnostics and blocking-discovery progress")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -76,7 +90,13 @@ func run(ctx context.Context, args []string, stdout io.Writer, logger *log.Logge
 		return fmt.Errorf("%w: %v", errUsage, err)
 	}
 
-	ecfg := engine.Config{Workers: *jobs, CacheDir: *cacheDir, Backend: *backendName}
+	// baseCtx is the lifetime of the engine's measurement runs and the async
+	// jobs: cancelled only after the HTTP side has drained, so that shutdown
+	// actually quiesces runs that no request is waiting on anymore.
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	defer baseCancel()
+
+	ecfg := engine.Config{Workers: *jobs, CacheDir: *cacheDir, Backend: *backendName, BaseContext: baseCtx}
 	if *verbose {
 		ecfg.Log = logger.Printf
 	}
@@ -84,7 +104,14 @@ func run(ctx context.Context, args []string, stdout io.Writer, logger *log.Logge
 	if err != nil {
 		return err
 	}
-	svc, err := service.New(service.Config{Engine: eng, Log: logger.Printf})
+	svc, err := service.New(service.Config{
+		Engine:      eng,
+		Log:         logger.Printf,
+		BaseContext: baseCtx,
+		JobTTL:      *jobTTL,
+		RateLimit:   *rate,
+		RateBurst:   *burst,
+	})
 	if err != nil {
 		return err
 	}
@@ -116,8 +143,25 @@ func run(ctx context.Context, args []string, stdout io.Writer, logger *log.Logge
 		return err
 	case <-ctx.Done():
 	}
+	// Shutdown in dependency order: drain the HTTP side (listener + in-flight
+	// handlers), give async jobs the same deadline to finish, then cancel the
+	// engine's base context — aborting anything still measuring, in
+	// particular a detached coalesced run whose waiters are all gone — and
+	// wait for the engine to quiesce. Without the cancel+drain step the
+	// process would exit while a measurement goroutine still burns CPU (or,
+	// under a test harness, leak it).
 	logger.Printf("shutting down")
-	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	return srv.Shutdown(shutCtx)
+	shutErr := srv.Shutdown(shutCtx)
+	if err := svc.DrainJobs(shutCtx); err != nil {
+		logger.Printf("%v (cancelling)", err)
+	}
+	baseCancel()
+	quiesceCtx, qcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer qcancel()
+	if err := eng.Drain(quiesceCtx); err != nil {
+		return errors.Join(shutErr, err)
+	}
+	return shutErr
 }

@@ -159,7 +159,10 @@ func (c *Characterizer) findBlocking(opts Options) (*BlockingSet, error) {
 			candidates = append(candidates, in)
 		}
 	}
-	profiles := c.isolationProfiles(candidates, opts)
+	profiles, err := c.isolationProfiles(candidates, opts)
+	if err != nil {
+		return nil, err
+	}
 
 	bs := &BlockingSet{
 		SSE: make(map[string]BlockingInstr),
@@ -221,8 +224,9 @@ func (c *Characterizer) findBlocking(opts Options) (*BlockingSet, error) {
 // sharded across opts.Workers forked stacks. The returned slice is indexed by
 // candidate so callers can fold it in candidate order regardless of which
 // worker measured what. A runner that cannot be forked falls back to the
-// sequential path, matching the characterization scheduler's contract.
-func (c *Characterizer) isolationProfiles(cands []*isa.Instr, opts Options) []isolation {
+// sequential path, matching the characterization scheduler's contract — as
+// does cancellation through opts.Context, checked between candidates.
+func (c *Characterizer) isolationProfiles(cands []*isa.Instr, opts Options) ([]isolation, error) {
 	profiles := make([]isolation, len(cands))
 	sink := &progressSink{total: len(cands), fn: opts.BlockingProgress}
 	workers := opts.Workers
@@ -250,24 +254,33 @@ func (c *Characterizer) isolationProfiles(cands []*isa.Instr, opts Options) []is
 				go func(fc *Characterizer) {
 					defer wg.Done()
 					for {
+						if runCancelled(opts.Context) != nil {
+							return
+						}
 						i := int(atomic.AddInt64(&next, 1)) - 1
 						if i >= len(cands) {
 							return
 						}
 						profiles[i] = fc.profileCandidate(cands[i])
-						sink.report(cands[i].Name)
+						sink.report(cands[i].Name, nil)
 					}
 				}(fc)
 			}
 			wg.Wait()
-			return profiles
+			if err := runCancelled(opts.Context); err != nil {
+				return nil, err
+			}
+			return profiles, nil
 		}
 	}
 	for i, in := range cands {
+		if err := runCancelled(opts.Context); err != nil {
+			return nil, err
+		}
 		profiles[i] = c.profileCandidate(in)
-		sink.report(in.Name)
+		sink.report(in.Name, nil)
 	}
-	return profiles
+	return profiles, nil
 }
 
 // profileCandidate measures one candidate, converting a measurement error

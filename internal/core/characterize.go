@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"uopsinfo/internal/isa"
@@ -53,11 +54,25 @@ type Options struct {
 	SkipLatency    bool
 	SkipPortUsage  bool
 	SkipThroughput bool
+	// Context, if non-nil, bounds the lifetime of the run: blocking-instruction
+	// discovery checks it between candidates and the characterization
+	// scheduler between variants, and the run returns ctx.Err() (wrapped)
+	// instead of continuing to measure. Cancellation is how a long-running
+	// server quiesces a characterization whose requesters are all gone; a
+	// cancelled run returns no partial result.
+	Context context.Context
 	// Progress, if non-nil, is called after each instruction. With multiple
 	// workers the callbacks are serialized and the done count remains
 	// monotonically increasing, but the variant completion order depends on
 	// scheduling.
 	Progress func(done, total int, name string)
+	// Variant, if non-nil, is called with each measured variant's record,
+	// under the same serialization contract as Progress (and ordered before
+	// the Progress callback of the same variant). Records already present in
+	// a resume partial map are merged, not measured, and not reported here.
+	// The record is the one placed in the returned ArchResult; callers must
+	// treat it as read-only.
+	Variant func(name string, rec *InstrResult)
 	// Workers is the number of parallel characterization workers. Each worker
 	// owns a complete simulator/harness/characterizer stack (the simulator is
 	// stateful, so the run is sharded rather than locked); the merged result
@@ -155,6 +170,9 @@ func (c *Characterizer) CharacterizeAll(opts Options) (*ArchResult, error) {
 // callback counts only the variants actually measured. A nil or empty
 // partial map degenerates to CharacterizeAll.
 func (c *Characterizer) CharacterizeResume(opts Options, partial map[string]*InstrResult) (*ArchResult, error) {
+	if err := runCancelled(opts.Context); err != nil {
+		return nil, err
+	}
 	instrs, err := c.resolveInstrs(opts)
 	if err != nil {
 		return nil, err

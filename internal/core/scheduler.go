@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -72,24 +73,44 @@ func (c *Characterizer) characterizeOne(in *isa.Instr, opts Options) *InstrResul
 	return res
 }
 
-// progressSink serializes Options.Progress callbacks from concurrent workers:
-// the done count is monotonically increasing and each variant is reported
-// exactly once, matching the sequential contract.
+// progressSink serializes Options.Progress and Options.Variant callbacks from
+// concurrent workers: the done count is monotonically increasing, each variant
+// is reported exactly once, and the record callback of a variant precedes its
+// progress callback, matching the sequential contract.
 type progressSink struct {
 	mu    sync.Mutex
 	done  int
 	total int
 	fn    func(done, total int, name string)
+	recFn func(name string, rec *InstrResult)
 }
 
-func (p *progressSink) report(name string) {
-	if p.fn == nil {
+func (p *progressSink) report(name string, rec *InstrResult) {
+	if p.fn == nil && p.recFn == nil {
 		return
 	}
 	p.mu.Lock()
 	p.done++
-	p.fn(p.done, p.total, name)
+	if p.recFn != nil && rec != nil {
+		p.recFn(name, rec)
+	}
+	if p.fn != nil {
+		p.fn(p.done, p.total, name)
+	}
 	p.mu.Unlock()
+}
+
+// runCancelled reports whether the run's context (nil meaning "never
+// cancelled") has been cancelled, wrapping ctx.Err() so errors.Is still
+// matches context.Canceled / DeadlineExceeded.
+func runCancelled(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: characterization cancelled: %w", err)
+	}
+	return nil
 }
 
 // DefaultWorkers is the worker count used when Options.Workers is negative:
@@ -104,7 +125,7 @@ func (c *Characterizer) characterizeParallel(instrs []*isa.Instr, opts Options, 
 		workers = len(instrs)
 	}
 	results := make([]*InstrResult, len(instrs))
-	sink := &progressSink{total: len(instrs), fn: opts.Progress}
+	sink := &progressSink{total: len(instrs), fn: opts.Progress, recFn: opts.Variant}
 
 	// Fork the worker stacks up front. A runner that cannot be forked is not
 	// an error: the calling Characterizer can still do the whole run, so
@@ -125,16 +146,22 @@ func (c *Characterizer) characterizeParallel(instrs []*isa.Instr, opts Options, 
 		go func(fc *Characterizer) {
 			defer wg.Done()
 			for {
+				if runCancelled(opts.Context) != nil {
+					return
+				}
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= len(instrs) {
 					return
 				}
 				results[i] = fc.characterizeOne(instrs[i], opts)
-				sink.report(instrs[i].Name)
+				sink.report(instrs[i].Name, results[i])
 			}
 		}(fc)
 	}
 	wg.Wait()
+	if err := runCancelled(opts.Context); err != nil {
+		return nil, err
+	}
 
 	out := NewArchResult(c.gen.arch.Name())
 	for i, in := range instrs {
@@ -149,7 +176,14 @@ func (c *Characterizer) characterizeParallel(instrs []*isa.Instr, opts Options, 
 func (c *Characterizer) characterizeSequential(instrs []*isa.Instr, opts Options) (*ArchResult, error) {
 	out := NewArchResult(c.gen.arch.Name())
 	for i, in := range instrs {
-		out.Results[in.Name] = c.characterizeOne(in, opts)
+		if err := runCancelled(opts.Context); err != nil {
+			return nil, err
+		}
+		rec := c.characterizeOne(in, opts)
+		out.Results[in.Name] = rec
+		if opts.Variant != nil {
+			opts.Variant(in.Name, rec)
+		}
 		if opts.Progress != nil {
 			opts.Progress(i+1, len(instrs), in.Name)
 		}

@@ -29,6 +29,14 @@ import (
 
 // Config controls how the engine builds its stacks.
 type Config struct {
+	// BaseContext, if non-nil, bounds the lifetime of every measurement run
+	// the engine executes. Unlike the per-request context of
+	// CharacterizeArchContext — which only governs how long that caller
+	// waits — cancelling the base context aborts the in-flight runs
+	// themselves (between candidates and between variants), so a server can
+	// actually quiesce on shutdown instead of leaving a detached coalesced
+	// run characterizing into the void. Nil means runs are never aborted.
+	BaseContext context.Context
 	// Workers is the total parallel worker budget shared by everything the
 	// engine runs: blocking discovery, per-variant characterization and
 	// concurrent per-generation prewarming all draw from it. <= 0 selects
@@ -102,8 +110,18 @@ type Engine struct {
 	// flightMu guards flights, the singleflight table of in-progress
 	// CharacterizeArch runs keyed by the run's store digest: concurrent
 	// identical queries coalesce onto one execution and fan its result out.
-	flightMu sync.Mutex
-	flights  map[store.Digest]*flight
+	// flightsWG tracks the in-flight executions for Drain.
+	flightMu  sync.Mutex
+	flights   map[store.Digest]*flight
+	flightsWG sync.WaitGroup
+
+	// blockMu guards blockProg, the latest blocking-discovery progress per
+	// generation. Discovery happens at most once per generation (inside the
+	// charEntry), but several flights of that generation may be waiting on
+	// it; FlightProgress merges these counters into any flight still in its
+	// blocking phase.
+	blockMu   sync.Mutex
+	blockProg map[uarch.Generation][2]int
 
 	statsMu sync.Mutex
 	stats   Stats
@@ -117,13 +135,82 @@ type charEntry struct {
 	err  error
 }
 
+// RunProgress is a point-in-time snapshot of one in-flight characterization
+// run, exported so the HTTP service's job API can report per-phase progress.
+// The JSON field names are part of the service's job-status responses.
+type RunProgress struct {
+	// Phase is "starting" (admission, store probes), "blocking" (the stack
+	// is being built, including blocking-instruction discovery),
+	// "measuring" (variants are being measured) or "done".
+	Phase string `json:"phase"`
+	// BlockingDone and BlockingTotal count blocking-discovery candidates for
+	// the run's generation; they are zero outside the blocking phase and
+	// when the blocking set came from the persistent store.
+	BlockingDone  int `json:"blockingDone"`
+	BlockingTotal int `json:"blockingTotal"`
+	// VariantsDone and VariantsTotal count the variants actually measured by
+	// this run; variants served from the per-variant store tier are not
+	// included (they are already done when the measuring phase starts).
+	VariantsDone  int `json:"variantsDone"`
+	VariantsTotal int `json:"variantsTotal"`
+}
+
+// VariantRecord is one measured variant record of an in-flight run, exposed
+// through FlightRecords so the service can stream results as they complete.
+// The record is shared with the run's result; callers must not modify it.
+type VariantRecord struct {
+	Name   string            `json:"name"`
+	Record *core.InstrResult `json:"record"`
+}
+
 // flight is one in-progress CharacterizeArch execution. res and err are
 // written exactly once, before done is closed; waiters read them only after
-// done.
+// done. The mutex guards the observable run state (progress snapshot, the
+// measured-record log and its change-notification channel), which outlives
+// nothing: once the flight leaves the table, observers fall back to the
+// completed result.
 type flight struct {
 	done chan struct{}
 	res  *core.ArchResult
 	err  error
+
+	gen uarch.Generation
+
+	mu      sync.Mutex
+	prog    RunProgress
+	records []VariantRecord
+	changed chan struct{}
+}
+
+// setPhase publishes a phase transition, optionally (total >= 0) setting the
+// variant totals of the measuring phase.
+func (f *flight) setPhase(phase string, total int) {
+	f.mu.Lock()
+	f.prog.Phase = phase
+	if total >= 0 {
+		f.prog.VariantsTotal = total
+	}
+	f.mu.Unlock()
+}
+
+// addRecord appends one measured variant record and wakes every observer
+// blocked on the previous changed channel.
+func (f *flight) addRecord(name string, rec *core.InstrResult) {
+	f.mu.Lock()
+	f.records = append(f.records, VariantRecord{Name: name, Record: rec})
+	close(f.changed)
+	f.changed = make(chan struct{})
+	f.mu.Unlock()
+}
+
+// finish marks the run done and closes the final changed channel (each
+// channel instance is closed exactly once: addRecord always replaces the one
+// it closes).
+func (f *flight) finish() {
+	f.mu.Lock()
+	f.prog.Phase = "done"
+	close(f.changed)
+	f.mu.Unlock()
 }
 
 // New returns an engine for the configuration. It fails if the configured
@@ -144,11 +231,12 @@ func New(cfg Config) (*Engine, error) {
 			name, strings.Join(measure.Names(), ", "))
 	}
 	e := &Engine{
-		cfg:     cfg,
-		mcfg:    mcfg,
-		backend: backend,
-		chars:   make(map[uarch.Generation]*charEntry),
-		flights: make(map[store.Digest]*flight),
+		cfg:       cfg,
+		mcfg:      mcfg,
+		backend:   backend,
+		chars:     make(map[uarch.Generation]*charEntry),
+		flights:   make(map[store.Digest]*flight),
+		blockProg: make(map[uarch.Generation][2]int),
 	}
 	if cfg.CacheDir != "" {
 		st, err := store.Open(cfg.CacheDir)
@@ -183,6 +271,95 @@ func (e *Engine) Workers() int {
 
 // Backend returns the measurement backend the engine builds runners from.
 func (e *Engine) Backend() measure.Backend { return e.backend }
+
+// baseCtx is the lifetime context of the engine's measurement runs.
+func (e *Engine) baseCtx() context.Context {
+	if e.cfg.BaseContext != nil {
+		return e.cfg.BaseContext
+	}
+	return context.Background()
+}
+
+// Drain blocks until every in-flight characterization run has finished (or
+// ctx expires). Together with a cancelled Config.BaseContext it is the
+// shutdown protocol of a long-running server: stop admitting requests, cancel
+// the base context, Drain — after which no engine goroutine is measuring.
+func (e *Engine) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		e.flightsWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("engine: draining in-flight runs: %w", ctx.Err())
+	}
+}
+
+// RunDigest returns the store digest that identifies a run's full content
+// universe (generation, backend fingerprint, measurement protocol, variant
+// set, options). It is the engine's coalescing key, which makes it double as
+// a cache-validator for HTTP conditional requests: equal digests mean
+// byte-identical results, computed without building any stack or touching the
+// store.
+func (e *Engine) RunDigest(gen uarch.Generation, opts RunOptions) (store.Digest, error) {
+	arch, err := uarch.Lookup(gen)
+	if err != nil {
+		return store.Digest{}, fmt.Errorf("engine: %w", err)
+	}
+	return e.key(arch, opts.scope()).Digest(), nil
+}
+
+// FlightProgress returns a progress snapshot of the in-flight run with the
+// given digest, and whether such a run exists. A flight in its blocking phase
+// reports the generation's blocking-discovery counters, which may be shared
+// with (and advanced by) other flights of the same generation.
+func (e *Engine) FlightProgress(dig store.Digest) (RunProgress, bool) {
+	e.flightMu.Lock()
+	f, ok := e.flights[dig]
+	e.flightMu.Unlock()
+	if !ok {
+		return RunProgress{}, false
+	}
+	f.mu.Lock()
+	p := f.prog
+	f.mu.Unlock()
+	if p.Phase == "blocking" {
+		e.blockMu.Lock()
+		bp := e.blockProg[f.gen]
+		e.blockMu.Unlock()
+		p.BlockingDone, p.BlockingTotal = bp[0], bp[1]
+	}
+	return p, true
+}
+
+// FlightRecords returns the variant records measured so far by the in-flight
+// run with the given digest, starting at record index from, together with a
+// channel that is closed as soon as another record lands (or the run
+// finishes) and whether such a run exists at all. Observers stream a run by
+// looping: emit the returned records, advance from, wait on changed. When the
+// run no longer exists (ok == false) the observer falls back to the completed
+// result. Records are shared with the run's result and must not be modified.
+func (e *Engine) FlightRecords(dig store.Digest, from int) (recs []VariantRecord, changed <-chan struct{}, ok bool) {
+	e.flightMu.Lock()
+	f, fok := e.flights[dig]
+	e.flightMu.Unlock()
+	if !fok {
+		return nil, nil, false
+	}
+	f.mu.Lock()
+	if from < 0 {
+		from = 0
+	}
+	if from < len(f.records) {
+		recs = f.records[from:len(f.records):len(f.records)]
+	}
+	changed = f.changed
+	f.mu.Unlock()
+	return recs, changed, true
+}
 
 // fingerprint is the backend identity folded into every cache key: results
 // from different backends, or different revisions of one backend, never
@@ -275,9 +452,12 @@ func (e *Engine) build(gen uarch.Generation, workers int) (*core.Characterizer, 
 		}
 		e.count(func(s *Stats) { s.BlockingMisses++ })
 	}
-	opts := core.Options{Workers: workers}
-	if e.cfg.BlockingProgress != nil {
-		opts.BlockingProgress = func(done, total int, name string) {
+	opts := core.Options{Workers: workers, Context: e.baseCtx()}
+	opts.BlockingProgress = func(done, total int, name string) {
+		e.blockMu.Lock()
+		e.blockProg[gen] = [2]int{done, total}
+		e.blockMu.Unlock()
+		if e.cfg.BlockingProgress != nil {
 			e.cfg.BlockingProgress(gen, done, total, name)
 		}
 	}
@@ -404,6 +584,9 @@ func (e *Engine) CharacterizeArchContext(ctx context.Context, gen uarch.Generati
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if err := e.baseCtx().Err(); err != nil {
+		return nil, fmt.Errorf("engine: shutting down: %w", err)
+	}
 	dig := e.key(arch, opts.scope()).Digest()
 
 	e.flightMu.Lock()
@@ -417,8 +600,14 @@ func (e *Engine) CharacterizeArchContext(ctx context.Context, gen uarch.Generati
 			return nil, ctx.Err()
 		}
 	}
-	f := &flight{done: make(chan struct{})}
+	f := &flight{
+		done:    make(chan struct{}),
+		gen:     gen,
+		prog:    RunProgress{Phase: "starting"},
+		changed: make(chan struct{}),
+	}
 	e.flights[dig] = f
+	e.flightsWG.Add(1)
 	e.flightMu.Unlock()
 
 	e.count(func(s *Stats) { s.Runs++ })
@@ -436,17 +625,20 @@ func (e *Engine) CharacterizeArchContext(ctx context.Context, gen uarch.Generati
 		e.flightMu.Lock()
 		delete(e.flights, dig)
 		e.flightMu.Unlock()
+		f.finish()
 		close(f.done)
+		e.flightsWG.Done()
 	}()
-	f.res, f.err = e.characterizeArch(arch, opts)
+	f.res, f.err = e.characterizeArch(arch, opts, f)
 	completed = true
 	return f.res, f.err
 }
 
 // characterizeArch is the uncoalesced body of CharacterizeArchContext: the
 // two store tiers, the resume scheduling of missing variants, and the
-// persistence of what was measured.
-func (e *Engine) characterizeArch(arch *uarch.Arch, opts RunOptions) (*core.ArchResult, error) {
+// persistence of what was measured. It publishes phase transitions and
+// measured records on the flight for FlightProgress/FlightRecords observers.
+func (e *Engine) characterizeArch(arch *uarch.Arch, opts RunOptions, f *flight) (*core.ArchResult, error) {
 	gen := arch.Gen()
 	rkey := e.key(arch, opts.scope())
 	if e.st != nil {
@@ -510,17 +702,31 @@ func (e *Engine) characterizeArch(arch *uarch.Arch, opts RunOptions) (*core.Arch
 	if workers <= 0 {
 		workers = e.Workers()
 	}
+	// The stack build includes blocking discovery when the generation is
+	// cold; a flight of an already-built generation passes through the phase
+	// immediately.
+	f.setPhase("blocking", -1)
 	c, err := e.characterizer(gen, workers)
 	if err != nil {
 		return nil, err
 	}
+	f.setPhase("measuring", len(names)-len(partial))
 	copts := core.Options{
 		Only:           opts.Only,
 		SkipLatency:    opts.SkipLatency,
 		SkipPortUsage:  opts.SkipPortUsage,
 		SkipThroughput: opts.SkipThroughput,
-		Progress:       opts.Progress,
 		Workers:        workers,
+		Context:        e.baseCtx(),
+		Variant:        f.addRecord,
+	}
+	copts.Progress = func(done, total int, name string) {
+		f.mu.Lock()
+		f.prog.VariantsDone, f.prog.VariantsTotal = done, total
+		f.mu.Unlock()
+		if opts.Progress != nil {
+			opts.Progress(done, total, name)
+		}
 	}
 	res, err := c.CharacterizeResume(copts, partial)
 	if err != nil {

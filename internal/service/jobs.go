@@ -1,0 +1,506 @@
+// Async job API: POST /v1/jobs starts a characterization detached from the
+// creating request, so slow cold runs (a full-ISA characterization takes
+// minutes) can be polled, streamed and fetched instead of holding one HTTP
+// connection open and invisible.
+//
+// A job is a thin handle on the engine's coalescing layer: it calls
+// CharacterizeArchContext under the server-lifetime context with exactly the
+// options a synchronous request would use, so an identical concurrent job or
+// synchronous request shares the same single flight (Stats.Runs counts one
+// run for all of them), and the job's result body is byte-identical to the
+// synchronous response. Progress and streaming read the engine's flight
+// observers (FlightProgress, FlightRecords) keyed by the job's run digest.
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"uopsinfo/internal/core"
+	"uopsinfo/internal/engine"
+	"uopsinfo/internal/store"
+	"uopsinfo/internal/uarch"
+)
+
+// DefaultJobTTL is how long a finished job stays fetchable when Config.JobTTL
+// is zero.
+const DefaultJobTTL = 15 * time.Minute
+
+// Job states.
+const (
+	jobRunning = "running"
+	jobDone    = "done"
+	jobFailed  = "failed"
+)
+
+// job is one asynchronous characterization. Immutable fields are set at
+// creation; the mutex guards the completion state.
+type job struct {
+	id      string
+	arch    *uarch.Arch
+	opts    engine.RunOptions
+	dig     store.Digest
+	format  string // creation-time format preference ("" = none)
+	created time.Time
+	done    chan struct{}
+
+	mu       sync.Mutex
+	state    string
+	finished time.Time
+	res      *core.ArchResult
+	err      error
+}
+
+// snapshot returns the completion state under the lock.
+func (j *job) snapshot() (state string, finished time.Time, res *core.ArchResult, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.finished, j.res, j.err
+}
+
+func (j *job) isDone() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// jobTable owns the jobs: ID allocation, listing, and TTL-based retention of
+// finished jobs. Retention is swept lazily on every table access — a
+// long-running server with no job traffic holds no timer, and tests inject
+// their own clock.
+type jobTable struct {
+	ttl time.Duration
+	now func() time.Time
+
+	mu   sync.Mutex
+	jobs map[string]*job
+	wg   sync.WaitGroup
+}
+
+func newJobTable(ttl time.Duration) *jobTable {
+	if ttl == 0 {
+		ttl = DefaultJobTTL
+	}
+	return &jobTable{ttl: ttl, now: time.Now, jobs: make(map[string]*job)}
+}
+
+// newID allocates an unguessable job ID. The caller holds t.mu.
+func (t *jobTable) newID() (string, error) {
+	for i := 0; i < 10; i++ {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "", fmt.Errorf("service: allocating job ID: %w", err)
+		}
+		id := "j" + hex.EncodeToString(b[:])
+		if _, taken := t.jobs[id]; !taken {
+			return id, nil
+		}
+	}
+	return "", errors.New("service: job ID space exhausted")
+}
+
+// sweep drops finished jobs past their TTL. The caller holds t.mu.
+func (t *jobTable) sweep() {
+	if t.ttl < 0 {
+		return
+	}
+	cutoff := t.now().Add(-t.ttl)
+	for id, j := range t.jobs {
+		state, finished, _, _ := j.snapshot()
+		if state != jobRunning && finished.Before(cutoff) {
+			delete(t.jobs, id)
+		}
+	}
+}
+
+// add registers a new running job.
+func (t *jobTable) add(arch *uarch.Arch, opts engine.RunOptions, dig store.Digest, format string) (*job, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sweep()
+	id, err := t.newID()
+	if err != nil {
+		return nil, err
+	}
+	j := &job{
+		id: id, arch: arch, opts: opts, dig: dig, format: format,
+		created: t.now(), done: make(chan struct{}), state: jobRunning,
+	}
+	t.jobs[id] = j
+	return j, nil
+}
+
+func (t *jobTable) get(id string) (*job, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sweep()
+	j, ok := t.jobs[id]
+	return j, ok
+}
+
+// list returns the jobs ordered oldest-first (ties broken by ID so the order
+// is deterministic).
+func (t *jobTable) list() []*job {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sweep()
+	jobs := make([]*job, 0, len(t.jobs))
+	for _, j := range t.jobs {
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(a, b int) bool {
+		if !jobs[a].created.Equal(jobs[b].created) {
+			return jobs[a].created.Before(jobs[b].created)
+		}
+		return jobs[a].id < jobs[b].id
+	})
+	return jobs
+}
+
+// counts returns the number of jobs per state, for /metrics.
+func (t *jobTable) counts() map[string]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sweep()
+	counts := make(map[string]int)
+	for _, j := range t.jobs {
+		state, _, _, _ := j.snapshot()
+		counts[state]++
+	}
+	return counts
+}
+
+// DrainJobs blocks until every running job has finished (or ctx expires) —
+// the shutdown path of cmd/uopsd: stop the listener, drain the jobs, cancel
+// the engine's base context, drain the engine.
+func (s *Service) DrainJobs(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.jobs.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: draining jobs: %w", ctx.Err())
+	}
+}
+
+// JobStatus is the job representation of the job endpoints.
+type JobStatus struct {
+	ID  string `json:"id"`
+	Gen string `json:"gen"`
+	// Query echoes the characterization options of the job.
+	Only  []string `json:"only,omitempty"`
+	Quick bool     `json:"quick,omitempty"`
+	// State is "running", "done" or "failed".
+	State    string     `json:"state"`
+	Created  time.Time  `json:"created"`
+	Finished *time.Time `json:"finished,omitempty"`
+	// Progress is the per-phase progress of the run serving this job. A
+	// running job whose flight has not started (or that attached to a
+	// store-warm run) reports phase "starting".
+	Progress engine.RunProgress `json:"progress"`
+	// Error is set on failed jobs.
+	Error string `json:"error,omitempty"`
+	// Result and Stream link to the job's sub-resources; Result is only set
+	// once the job is done.
+	Result string `json:"result,omitempty"`
+	Stream string `json:"stream"`
+}
+
+// jobStatus assembles the response representation of a job.
+func (s *Service) jobStatus(j *job) JobStatus {
+	state, finished, res, jerr := j.snapshot()
+	st := JobStatus{
+		ID:      j.id,
+		Gen:     j.arch.Name(),
+		Only:    j.opts.Only,
+		Quick:   j.opts.SkipLatency,
+		State:   state,
+		Created: j.created,
+		Stream:  "/v1/jobs/" + j.id + "/stream",
+	}
+	switch state {
+	case jobRunning:
+		if p, ok := s.eng.FlightProgress(j.dig); ok {
+			st.Progress = p
+		} else {
+			st.Progress = engine.RunProgress{Phase: "starting"}
+		}
+	case jobDone:
+		st.Finished = &finished
+		st.Progress = engine.RunProgress{
+			Phase:         "done",
+			VariantsDone:  len(res.Results),
+			VariantsTotal: len(res.Results),
+		}
+		st.Result = "/v1/jobs/" + j.id + "/result"
+	case jobFailed:
+		st.Finished = &finished
+		st.Progress = engine.RunProgress{Phase: "done"}
+		st.Error = jerr.Error()
+	}
+	return st
+}
+
+// handleJobCreate starts a job: the same query surface as /v1/arch/{gen}
+// (?only, ?quick, ?format) plus ?gen naming the generation. The
+// characterization runs under the server-lifetime context; the response is
+// 202 with the job status and a Location header.
+func (s *Service) handleJobCreate(w http.ResponseWriter, r *http.Request) {
+	genName := r.URL.Query().Get("gen")
+	if genName == "" {
+		s.fail(w, http.StatusBadRequest, errors.New("service: job creation requires ?gen=GENERATION"))
+		return
+	}
+	arch, err := uarch.ByName(genName)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "", formatJSON, formatXML:
+	default:
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("service: unknown format %q (supported: json, xml)", format))
+		return
+	}
+	opts, err := runOptionsFromRequest(arch, r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	dig, err := s.eng.RunDigest(arch.Gen(), opts)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	j, err := s.jobs.add(arch, opts, dig, format)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.jobs.wg.Add(1)
+	go func() {
+		defer s.jobs.wg.Done()
+		// A panic below must still complete the job: a job stuck "running"
+		// forever would also wedge DrainJobs at shutdown.
+		completed := false
+		defer func() {
+			if p := recover(); p != nil || !completed {
+				s.count(func(c *Counters) { c.Panics++ })
+				s.logf("service: panic running job %s: %v", j.id, p)
+				s.finishJob(j, nil, fmt.Errorf("service: job aborted by a panic: %v", p))
+			}
+		}()
+		res, err := s.eng.CharacterizeArchContext(s.baseCtx, j.arch.Gen(), j.opts)
+		completed = true
+		s.finishJob(j, res, err)
+	}()
+	s.logf("service: job %s: characterize %s only=%d quick=%v", j.id, arch.Name(), len(opts.Only), opts.SkipLatency)
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(http.StatusAccepted)
+	data, err := json.MarshalIndent(s.jobStatus(j), "", "  ")
+	if err != nil {
+		return
+	}
+	w.Write(append(data, '\n'))
+}
+
+// finishJob publishes a job's completion exactly once.
+func (s *Service) finishJob(j *job, res *core.ArchResult, err error) {
+	j.mu.Lock()
+	if j.state != jobRunning {
+		j.mu.Unlock()
+		return
+	}
+	j.res, j.err = res, err
+	if err != nil {
+		j.state = jobFailed
+		s.logf("service: job %s: failed: %v", j.id, err)
+	} else {
+		j.state = jobDone
+	}
+	j.finished = s.jobs.now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+func (s *Service) handleJobList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.jobs.list()
+	statuses := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		statuses[i] = s.jobStatus(j)
+	}
+	s.writeJSON(w, struct {
+		Jobs []JobStatus `json:"jobs"`
+	}{statuses})
+}
+
+// jobFromRequest resolves the {id} path segment, answering 404 for unknown
+// (or expired) jobs.
+func (s *Service) jobFromRequest(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(id)
+	if !ok {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("service: no job %q (finished jobs expire after their TTL)", id))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Service) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromRequest(w, r)
+	if !ok {
+		return
+	}
+	s.writeJSON(w, s.jobStatus(j))
+}
+
+// handleJobResult serves the finished job's result document — rendered
+// through exactly the synchronous response path, so the body (and the ETag)
+// is byte-identical to GET /v1/arch/{gen} with the same query. The format is
+// the request's when specified, the job's creation-time preference
+// otherwise. A still-running job is 409; a failed one surfaces its error as
+// 500.
+func (s *Service) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromRequest(w, r)
+	if !ok {
+		return
+	}
+	format, err := requestFormat(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if r.URL.Query().Get("format") == "" && j.format != "" {
+		format = j.format
+	}
+	state, _, res, jerr := j.snapshot()
+	switch state {
+	case jobRunning:
+		s.fail(w, http.StatusConflict, fmt.Errorf("service: job %s is still running", j.id))
+	case jobFailed:
+		s.fail(w, http.StatusInternalServerError, jerr)
+	default:
+		tag := etag(j.dig, format)
+		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, tag) {
+			w.Header().Set("ETag", tag)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		s.writeResult(w, j.arch, res, format, tag)
+	}
+}
+
+// jobEvent is one line of the NDJSON job stream.
+type jobEvent struct {
+	Event string `json:"event"` // "progress", "variant", "done", "error"
+	Job   string `json:"job"`
+	// Progress is set on "progress" events.
+	Progress *engine.RunProgress `json:"progress,omitempty"`
+	// Name and Record are set on "variant" events; the record is the
+	// engine's per-variant measurement.
+	Name   string            `json:"name,omitempty"`
+	Record *core.InstrResult `json:"record,omitempty"`
+	// State, Result and Error are set on the final "done"/"error" event.
+	State  string `json:"state,omitempty"`
+	Result string `json:"result,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// handleJobStream streams a job as newline-delimited JSON: a progress event,
+// then one variant event per measured record as it completes, then the
+// remaining records of the final result (variants served from the store are
+// never individually measured, so they only appear here), then a final
+// done/error event. Connecting to a finished job replays the full result.
+// The stream rides on the engine's flight observers, so it works no matter
+// which request — this job, an identical one, or a synchronous GET — leads
+// the coalesced run.
+func (s *Service) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromRequest(w, r)
+	if !ok {
+		return
+	}
+	rc := http.NewResponseController(w)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	emit := func(ev jobEvent) bool {
+		ev.Job = j.id
+		if err := enc.Encode(ev); err != nil {
+			return false
+		}
+		rc.Flush()
+		return true
+	}
+
+	sent := make(map[string]bool)
+	from := 0
+	if p, ok := s.eng.FlightProgress(j.dig); ok {
+		if !emit(jobEvent{Event: "progress", Progress: &p}) {
+			return
+		}
+	}
+	for !j.isDone() {
+		recs, changed, ok := s.eng.FlightRecords(j.dig, from)
+		for _, rec := range recs {
+			sent[rec.Name] = true
+			from++
+			if !emit(jobEvent{Event: "variant", Name: rec.Name, Record: rec.Record}) {
+				return
+			}
+		}
+		if !ok {
+			// The flight has not started (or already finished and left the
+			// table) while the job still runs: wait for completion, with a
+			// re-probe tick in case a flight appears.
+			select {
+			case <-j.done:
+			case <-r.Context().Done():
+				return
+			case <-time.After(20 * time.Millisecond):
+			}
+			continue
+		}
+		select {
+		case <-changed:
+		case <-j.done:
+		case <-r.Context().Done():
+			return
+		}
+	}
+
+	_, _, res, jerr := j.snapshot()
+	if jerr != nil {
+		emit(jobEvent{Event: "error", State: jobFailed, Error: jerr.Error()})
+		return
+	}
+	// Replay what the live flight did not deliver: store-served variants,
+	// and everything when the job finished before this stream connected.
+	for _, name := range res.Names() {
+		if sent[name] {
+			continue
+		}
+		if !emit(jobEvent{Event: "variant", Name: name, Record: res.Results[name]}) {
+			return
+		}
+	}
+	emit(jobEvent{Event: "done", State: jobDone, Result: "/v1/jobs/" + j.id + "/result"})
+}

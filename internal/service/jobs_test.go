@@ -1,0 +1,478 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"uopsinfo/internal/engine"
+	"uopsinfo/internal/uarch"
+)
+
+// do performs one request with an arbitrary method against the handler.
+func do(t *testing.T, svc *Service, method, target string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	svc.ServeHTTP(rec, httptest.NewRequest(method, target, nil))
+	return rec
+}
+
+// createJob posts a job and returns its decoded status.
+func createJob(t *testing.T, svc *Service, target string) JobStatus {
+	t.Helper()
+	rec := do(t, svc, "POST", target)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("POST %s = %d: %s", target, rec.Code, rec.Body.Bytes())
+	}
+	var st JobStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" {
+		t.Fatal("job created without an ID")
+	}
+	if loc := rec.Header().Get("Location"); loc != "/v1/jobs/"+st.ID {
+		t.Errorf("Location = %q, want /v1/jobs/%s", loc, st.ID)
+	}
+	return st
+}
+
+// waitJobDone polls the status endpoint until the job leaves the running
+// state, and returns the final status.
+func waitJobDone(t *testing.T, svc *Service, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		rec := do(t, svc, "GET", "/v1/jobs/"+id)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET /v1/jobs/%s = %d: %s", id, rec.Code, rec.Body.Bytes())
+		}
+		var st JobStatus
+		if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State != jobRunning {
+			return st
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return JobStatus{}
+}
+
+// decodeStream parses an NDJSON job-stream body into events.
+func decodeStream(t *testing.T, body []byte) []jobEvent {
+	t.Helper()
+	var events []jobEvent
+	dec := json.NewDecoder(bytes.NewReader(body))
+	for dec.More() {
+		var ev jobEvent
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatalf("stream line %d: %v", len(events), err)
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// TestJobLifecycle drives a job create → poll → stream → result round trip
+// and pins the central contract: the job's result body and ETag are
+// byte-identical to the synchronous endpoint with the same query.
+func TestJobLifecycle(t *testing.T) {
+	svc, _ := newTestService(t, engine.Config{CacheDir: t.TempDir()})
+	query := "only=" + strings.Join(testOnly, ",")
+
+	st := createJob(t, svc, "/v1/jobs?gen=skylake&"+query)
+	if st.Gen != "Skylake" {
+		t.Errorf("job gen = %q, want Skylake", st.Gen)
+	}
+	if st.Stream != "/v1/jobs/"+st.ID+"/stream" {
+		t.Errorf("stream link = %q", st.Stream)
+	}
+
+	final := waitJobDone(t, svc, st.ID)
+	if final.State != jobDone {
+		t.Fatalf("job finished in state %q: %s", final.State, final.Error)
+	}
+	if final.Finished == nil || final.Result == "" {
+		t.Errorf("done status lacks finished time or result link: %+v", final)
+	}
+	if final.Progress.Phase != "done" || final.Progress.VariantsDone != len(testOnly) {
+		t.Errorf("done progress = %+v, want phase done with %d variants", final.Progress, len(testOnly))
+	}
+
+	// The listing knows the job.
+	rec := do(t, svc, "GET", "/v1/jobs")
+	var listing struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Jobs) != 1 || listing.Jobs[0].ID != st.ID {
+		t.Errorf("job listing = %+v, want exactly job %s", listing.Jobs, st.ID)
+	}
+
+	// The result is byte-identical to the synchronous endpoint, ETag included,
+	// in both formats.
+	for _, format := range []string{"", "&format=xml"} {
+		recJob := do(t, svc, "GET", "/v1/jobs/"+st.ID+"/result?"+strings.TrimPrefix(format, "&"))
+		if recJob.Code != http.StatusOK {
+			t.Fatalf("job result (%q) = %d: %s", format, recJob.Code, recJob.Body.Bytes())
+		}
+		recSync := do(t, svc, "GET", "/v1/arch/skylake?"+query+format)
+		if recSync.Code != http.StatusOK {
+			t.Fatalf("sync request (%q) = %d", format, recSync.Code)
+		}
+		if !bytes.Equal(recJob.Body.Bytes(), recSync.Body.Bytes()) {
+			t.Errorf("job result body (%q) differs from the synchronous response", format)
+		}
+		jobTag, syncTag := recJob.Header().Get("ETag"), recSync.Header().Get("ETag")
+		if jobTag == "" || jobTag != syncTag {
+			t.Errorf("job result ETag %q != synchronous ETag %q", jobTag, syncTag)
+		}
+	}
+
+	// A conditional result fetch is a 304.
+	tagRec := do(t, svc, "GET", "/v1/jobs/"+st.ID+"/result")
+	req := httptest.NewRequest("GET", "/v1/jobs/"+st.ID+"/result", nil)
+	req.Header.Set("If-None-Match", tagRec.Header().Get("ETag"))
+	cond := httptest.NewRecorder()
+	svc.ServeHTTP(cond, req)
+	if cond.Code != http.StatusNotModified {
+		t.Errorf("If-None-Match result fetch = %d, want 304", cond.Code)
+	}
+
+	// Streaming a finished job replays the full result.
+	recStream := do(t, svc, "GET", "/v1/jobs/"+st.ID+"/stream")
+	if recStream.Code != http.StatusOK {
+		t.Fatalf("stream = %d", recStream.Code)
+	}
+	if ct := recStream.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream Content-Type = %q", ct)
+	}
+	events := decodeStream(t, recStream.Body.Bytes())
+	variants := map[string]int{}
+	var last jobEvent
+	for _, ev := range events {
+		if ev.Job != st.ID {
+			t.Errorf("event for job %q on job %s's stream", ev.Job, st.ID)
+		}
+		if ev.Event == "variant" {
+			if ev.Record == nil {
+				t.Errorf("variant event %s without a record", ev.Name)
+			}
+			variants[ev.Name]++
+		}
+		last = ev
+	}
+	for _, name := range testOnly {
+		if variants[name] != 1 {
+			t.Errorf("variant %s streamed %d times, want 1", name, variants[name])
+		}
+	}
+	if last.Event != "done" || last.State != jobDone || last.Result != "/v1/jobs/"+st.ID+"/result" {
+		t.Errorf("final stream event = %+v, want done with result link", last)
+	}
+}
+
+// TestJobCoalescesWithSyncRequest is the acceptance gate for the job API
+// design: an async job and an identical synchronous request share one
+// coalesced measurement run (Stats.Runs == 1), while a live stream attached
+// to the job observes the run's variants.
+func TestJobCoalescesWithSyncRequest(t *testing.T) {
+	released := make(chan struct{})
+	var gate sync.Once
+	svc, eng := newTestService(t, engine.Config{
+		CacheDir: t.TempDir(),
+		BlockingProgress: func(gen uarch.Generation, done, total int, name string) {
+			gate.Do(func() { <-released })
+		},
+	})
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+	query := "only=" + strings.Join(testOnly, ",")
+
+	waitFor := func(what string, cond func(engine.Stats) bool) bool {
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond(eng.Stats()) {
+				return true
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Errorf("timed out waiting for %s (stats: %+v)", what, eng.Stats())
+		return false
+	}
+
+	// The job leads the run and is held inside blocking discovery.
+	resp, err := http.Post(srv.URL+"/v1/jobs?gen=sandy-bridge&"+query, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job create = %d", resp.StatusCode)
+	}
+	if !waitFor("the job's run to start", func(s engine.Stats) bool { return s.Runs == 1 }) {
+		close(released)
+		t.FailNow()
+	}
+
+	// A live stream attaches to the gated run.
+	streamResp, err := http.Get(srv.URL + "/v1/jobs/" + st.ID + "/stream")
+	if err != nil {
+		close(released)
+		t.Fatal(err)
+	}
+	streamEvents := make(chan []jobEvent, 1)
+	go func() {
+		defer streamResp.Body.Close()
+		var events []jobEvent
+		dec := json.NewDecoder(streamResp.Body)
+		for {
+			var ev jobEvent
+			if err := dec.Decode(&ev); err != nil {
+				break
+			}
+			events = append(events, ev)
+		}
+		streamEvents <- events
+	}()
+
+	// An identical synchronous request coalesces onto the job's run.
+	syncBody := make(chan []byte, 1)
+	go func() {
+		resp, err := http.Get(srv.URL + "/v1/arch/sandy-bridge?" + query)
+		if err != nil {
+			t.Errorf("sync request: %v", err)
+			syncBody <- nil
+			return
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		syncBody <- buf.Bytes()
+	}()
+	ok := waitFor("the sync request to attach", func(s engine.Stats) bool { return s.CoalescedWaiters >= 1 })
+	close(released)
+	if !ok {
+		t.FailNow()
+	}
+
+	sync := <-syncBody
+	final := waitJobDone(t, svc, st.ID)
+	if final.State != jobDone {
+		t.Fatalf("job finished in state %q: %s", final.State, final.Error)
+	}
+	rec := do(t, svc, "GET", "/v1/jobs/"+st.ID+"/result")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("job result = %d", rec.Code)
+	}
+	if sync == nil || !bytes.Equal(rec.Body.Bytes(), sync) {
+		t.Error("job result body differs from the coalesced synchronous response")
+	}
+
+	stats := eng.Stats()
+	if stats.Runs != 1 {
+		t.Errorf("stats.Runs = %d: the job and the sync request did not coalesce", stats.Runs)
+	}
+	if stats.VariantsMeasured != len(testOnly) {
+		t.Errorf("%d variants measured, want %d", stats.VariantsMeasured, len(testOnly))
+	}
+
+	events := <-streamEvents
+	variants := map[string]int{}
+	sawProgress := false
+	var last jobEvent
+	for _, ev := range events {
+		switch ev.Event {
+		case "progress":
+			sawProgress = true
+		case "variant":
+			variants[ev.Name]++
+		}
+		last = ev
+	}
+	if !sawProgress {
+		t.Error("live stream never emitted a progress event")
+	}
+	for _, name := range testOnly {
+		if variants[name] != 1 {
+			t.Errorf("variant %s streamed %d times, want 1", name, variants[name])
+		}
+	}
+	if last.Event != "done" {
+		t.Errorf("final stream event = %+v, want done", last)
+	}
+}
+
+// TestJobResultWhileRunning pins the 409: a result fetch must not block on —
+// or worse, silently join — a run that has not finished.
+func TestJobResultWhileRunning(t *testing.T) {
+	released := make(chan struct{})
+	var gate sync.Once
+	svc, _ := newTestService(t, engine.Config{
+		BlockingProgress: func(gen uarch.Generation, done, total int, name string) {
+			gate.Do(func() { <-released })
+		},
+	})
+	st := createJob(t, svc, "/v1/jobs?gen=skylake&only="+testOnly[0])
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		rec := do(t, svc, "GET", "/v1/jobs/"+st.ID+"/result")
+		if rec.Code == http.StatusConflict {
+			break
+		}
+		if time.Now().After(deadline) {
+			close(released)
+			t.Fatalf("running job's result answered %d, want 409", rec.Code)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(released)
+	if final := waitJobDone(t, svc, st.ID); final.State != jobDone {
+		t.Fatalf("job finished in state %q", final.State)
+	}
+	if rec := do(t, svc, "GET", "/v1/jobs/"+st.ID+"/result"); rec.Code != http.StatusOK {
+		t.Errorf("finished job's result = %d, want 200", rec.Code)
+	}
+}
+
+// TestJobValidation checks the job API's 4xx surface — and that none of the
+// rejected requests reaches the engine.
+func TestJobValidation(t *testing.T) {
+	svc, eng := newTestService(t, engine.Config{})
+	cases := []struct {
+		method, target string
+		want           int
+	}{
+		{"POST", "/v1/jobs", http.StatusBadRequest},
+		{"POST", "/v1/jobs?gen=pentium9", http.StatusBadRequest},
+		{"POST", "/v1/jobs?gen=skylake&format=bogus", http.StatusBadRequest},
+		{"POST", "/v1/jobs?gen=skylake&only=NOT_AN_INSTRUCTION", http.StatusBadRequest},
+		{"GET", "/v1/jobs/jdeadbeef", http.StatusNotFound},
+		{"GET", "/v1/jobs/jdeadbeef/stream", http.StatusNotFound},
+		{"GET", "/v1/jobs/jdeadbeef/result", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		rec := do(t, svc, tc.method, tc.target)
+		if rec.Code != tc.want {
+			t.Errorf("%s %s = %d, want %d (%s)", tc.method, tc.target, rec.Code, tc.want, rec.Body.Bytes())
+		}
+	}
+	if st := eng.Stats(); st.Runs != 0 {
+		t.Errorf("rejected job requests started %d engine runs", st.Runs)
+	}
+	rec := do(t, svc, "GET", "/v1/jobs")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/jobs = %d", rec.Code)
+	}
+	var listing struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Jobs) != 0 {
+		t.Errorf("listing after rejected creates: %+v", listing.Jobs)
+	}
+}
+
+// TestJobTTLExpiry checks retention: finished jobs disappear from the table
+// (listing, status, result) once their TTL passes, on the injected clock.
+func TestJobTTLExpiry(t *testing.T) {
+	eng, err := engine.New(engine.Config{Workers: 2, CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(Config{Engine: eng, Log: t.Logf, JobTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	base := time.Now()
+	offset := time.Duration(0)
+	svc.jobs.now = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return base.Add(offset)
+	}
+
+	st := createJob(t, svc, "/v1/jobs?gen=skylake&only="+testOnly[0])
+	if final := waitJobDone(t, svc, st.ID); final.State != jobDone {
+		t.Fatalf("job finished in state %q", final.State)
+	}
+
+	// Still within the TTL: fetchable.
+	mu.Lock()
+	offset = 30 * time.Second
+	mu.Unlock()
+	if rec := do(t, svc, "GET", "/v1/jobs/"+st.ID); rec.Code != http.StatusOK {
+		t.Fatalf("job before TTL = %d", rec.Code)
+	}
+
+	// Past the TTL: swept from every endpoint.
+	mu.Lock()
+	offset = 2 * time.Minute
+	mu.Unlock()
+	for _, target := range []string{
+		"/v1/jobs/" + st.ID,
+		"/v1/jobs/" + st.ID + "/result",
+		"/v1/jobs/" + st.ID + "/stream",
+	} {
+		if rec := do(t, svc, "GET", target); rec.Code != http.StatusNotFound {
+			t.Errorf("GET %s after TTL = %d, want 404", target, rec.Code)
+		}
+	}
+	rec := do(t, svc, "GET", "/v1/jobs")
+	var listing struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Jobs) != 0 {
+		t.Errorf("listing after TTL: %+v", listing.Jobs)
+	}
+}
+
+// TestDrainJobsWaits pins the shutdown half of the job table: DrainJobs
+// blocks while a job runs and returns once it finishes.
+func TestDrainJobsWaits(t *testing.T) {
+	released := make(chan struct{})
+	var gate sync.Once
+	svc, _ := newTestService(t, engine.Config{
+		BlockingProgress: func(gen uarch.Generation, done, total int, name string) {
+			gate.Do(func() { <-released })
+		},
+	})
+	st := createJob(t, svc, "/v1/jobs?gen=skylake&only="+testOnly[0])
+
+	short, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	err := svc.DrainJobs(short)
+	cancel()
+	if err == nil {
+		t.Error("DrainJobs returned while a job was still running")
+	}
+
+	close(released)
+	long, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+	if err := svc.DrainJobs(long); err != nil {
+		t.Fatalf("DrainJobs after the run finished: %v", err)
+	}
+	if final := waitJobDone(t, svc, st.ID); final.State != jobDone {
+		t.Errorf("job finished in state %q", final.State)
+	}
+}

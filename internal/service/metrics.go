@@ -1,0 +1,80 @@
+// GET /metrics: the service and engine counters in the Prometheus text
+// exposition format. The numbers are the same ones /v1/stats serves as JSON —
+// the counters already existed, this is only the format a scrape pipeline
+// ingests without adapters.
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+)
+
+// metric is one exposition entry.
+type metric struct {
+	name   string
+	help   string
+	typ    string // "counter" or "gauge"
+	labels string // rendered label set incl. braces, or ""
+	value  float64
+}
+
+// metrics assembles the exposition set from the live counters.
+func (s *Service) metrics() []metric {
+	c := s.Counters()
+	es := s.eng.Stats()
+	ms := []metric{
+		{name: "uopsd_http_requests_total", typ: "counter",
+			help: "HTTP requests received.", value: float64(c.Requests)},
+		{name: "uopsd_http_errors_total", typ: "counter",
+			help: "HTTP requests answered with a 4xx or 5xx status.", value: float64(c.Errors)},
+		{name: "uopsd_http_panics_total", typ: "counter",
+			help: "Handler panics caught and contained.", value: float64(c.Panics)},
+		{name: "uopsd_http_client_gone_total", typ: "counter",
+			help: "Requests whose client went away before a response was written.", value: float64(c.ClientGone)},
+		{name: "uopsd_http_rate_limited_total", typ: "counter",
+			help: "Requests rejected with 429 by the rate limiter.", value: float64(c.RateLimited)},
+		{name: "uopsd_engine_runs_total", typ: "counter",
+			help: "Characterization runs executed (not coalesced onto another run).", value: float64(es.Runs)},
+		{name: "uopsd_engine_coalesced_waiters_total", typ: "counter",
+			help: "Requests that attached to an in-flight identical run.", value: float64(es.CoalescedWaiters)},
+		{name: "uopsd_engine_result_hits_total", typ: "counter",
+			help: "Whole-ISA result store hits.", value: float64(es.ResultHits)},
+		{name: "uopsd_engine_result_misses_total", typ: "counter",
+			help: "Whole-ISA result store misses.", value: float64(es.ResultMisses)},
+		{name: "uopsd_engine_blocking_hits_total", typ: "counter",
+			help: "Blocking-set store hits.", value: float64(es.BlockingHits)},
+		{name: "uopsd_engine_blocking_misses_total", typ: "counter",
+			help: "Blocking-set store misses.", value: float64(es.BlockingMisses)},
+		{name: "uopsd_engine_variant_hits_total", typ: "counter",
+			help: "Per-variant records served from the store.", value: float64(es.VariantHits)},
+		{name: "uopsd_engine_variants_measured_total", typ: "counter",
+			help: "Instruction variants actually measured.", value: float64(es.VariantsMeasured)},
+		{name: "uopsd_engine_store_save_errors_total", typ: "counter",
+			help: "Failed persistent-store writes.", value: float64(es.SaveErrors)},
+	}
+	counts := s.jobs.counts()
+	states := make([]string, 0, len(counts))
+	for state := range counts {
+		states = append(states, state)
+	}
+	sort.Strings(states)
+	for _, state := range states {
+		ms = append(ms, metric{name: "uopsd_jobs", typ: "gauge",
+			help:   "Jobs in the job table by state.",
+			labels: fmt.Sprintf(`{state=%q}`, state), value: float64(counts[state])})
+	}
+	return ms
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	prev := ""
+	for _, m := range s.metrics() {
+		if m.name != prev {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
+			prev = m.name
+		}
+		fmt.Fprintf(w, "%s%s %g\n", m.name, m.labels, m.value)
+	}
+}

@@ -1,0 +1,67 @@
+// Token-bucket rate limiting: a production service fronting heavy traffic
+// needs a way to shed load before the engine does, and 429 + Retry-After is
+// the contract well-behaved clients understand. The limiter is off unless
+// configured (Config.RateLimit), so tests and existing deployments are
+// untouched.
+package service
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a classic token bucket: tokens refill continuously at rate
+// per second up to burst, each admitted request spends one. It is global per
+// service (not per client): the resource it protects — the measurement
+// engine and the store — is shared, so admission is too.
+type rateLimiter struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket depth
+	tokens float64
+	last   time.Time
+	now    func() time.Time // injectable clock for tests
+}
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst <= 0 {
+		burst = int(math.Ceil(rate))
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	l := &rateLimiter{rate: rate, burst: float64(burst), now: time.Now}
+	l.tokens = l.burst
+	l.last = l.now()
+	return l
+}
+
+// allow spends one token if available. When the bucket is empty it reports
+// how long until the next token refills, for the Retry-After header.
+func (l *rateLimiter) allow() (bool, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	l.tokens += now.Sub(l.last).Seconds() * l.rate
+	if l.tokens > l.burst {
+		l.tokens = l.burst
+	}
+	l.last = now
+	if l.tokens >= 1 {
+		l.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - l.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// retryAfterSeconds rounds a wait up to whole seconds (minimum 1): a
+// Retry-After of 0 would invite an immediate, equally doomed retry.
+func retryAfterSeconds(wait time.Duration) int {
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

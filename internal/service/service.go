@@ -3,30 +3,43 @@
 // the persistent store) and serves characterization results to many
 // concurrent callers.
 //
-// Endpoints (all GET):
+// Endpoints:
 //
-//	/healthz                       liveness probe
-//	/v1/backends                   the measurement-backend registry
-//	/v1/stats                      engine cache/coalescing counters + service counters
-//	/v1/arch/{gen}                 full characterization of one generation
-//	/v1/arch/{gen}/variant/{name}  characterization of a single variant
+//	GET  /healthz                       liveness probe
+//	GET  /metrics                       Prometheus-style counter exposition
+//	GET  /v1/backends                   the measurement-backend registry
+//	GET  /v1/stats                      engine cache/coalescing counters + service counters
+//	GET  /v1/arch/{gen}                 full characterization of one generation
+//	GET  /v1/arch/{gen}/variant/{name}  characterization of a single variant
+//	POST /v1/jobs                       start an asynchronous characterization job
+//	GET  /v1/jobs                       list jobs
+//	GET  /v1/jobs/{id}                  job status with per-phase progress
+//	GET  /v1/jobs/{id}/stream           NDJSON stream of variant records as they complete
+//	GET  /v1/jobs/{id}/result           the finished job's result document
 //
-// The two characterization endpoints accept ?format=xml (default JSON; an
-// Accept header naming xml also selects it), and /v1/arch/{gen} additionally
-// accepts ?only=NAME,NAME and ?quick=1 (skip the per-operand-pair latency
-// measurements). Generation names are matched case-insensitively with
-// separators ignored, so /v1/arch/sandy-bridge works.
+// The characterization endpoints accept ?format=xml or ?format=json (default
+// JSON; an Accept header naming xml also selects it; any other ?format value
+// is a 400), and /v1/arch/{gen} additionally accepts ?only=NAME,NAME and
+// ?quick=1 (skip the per-operand-pair latency measurements). POST /v1/jobs
+// accepts the same query surface plus ?gen=NAME and runs the characterization
+// detached from the request, so slow cold runs can be polled and streamed
+// instead of holding a connection open. Generation names are matched
+// case-insensitively with separators ignored, so /v1/arch/sandy-bridge works.
 //
-// Concurrent identical queries are coalesced by the engine singleflight-style
-// on the store digest of the request: N simultaneous cold requests for one
-// generation trigger exactly one measurement run, every waiter receives the
-// same result (rendered to byte-identical bodies), and the run lands in the
-// store so later requests are warm hits. /v1/stats exposes the run/waiter
-// counters.
+// Concurrent identical queries — synchronous requests and jobs alike — are
+// coalesced by the engine singleflight-style on the store digest of the
+// request: N simultaneous cold requests for one generation trigger exactly
+// one measurement run, every waiter receives the same result (rendered to
+// byte-identical bodies), and the run lands in the store so later requests
+// are warm hits. The same digest doubles as the ETag of result responses, so
+// a warm conditional GET (If-None-Match) answers 304 without touching the
+// engine. /v1/stats exposes the run/waiter counters.
 //
 // Errors on request-derived input degrade to HTTP statuses, never crash the
 // process: an unknown generation is 400, an unknown variant 404, and a
-// handler panic is caught, counted and answered with 500.
+// handler panic is caught, counted and answered with 500 — unless the
+// response body was already underway, in which case the connection is torn
+// down (http.ErrAbortHandler) rather than delivering a truncated 2xx.
 package service
 
 import (
@@ -40,13 +53,23 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"uopsinfo/internal/core"
 	"uopsinfo/internal/engine"
 	"uopsinfo/internal/iaca"
 	"uopsinfo/internal/measure"
+	"uopsinfo/internal/store"
 	"uopsinfo/internal/uarch"
 	"uopsinfo/internal/xmlout"
 )
+
+// StatusClientGone is the status recorded for requests whose client went away
+// before a response could be written (nginx's 499 convention). It is
+// accounting, not wire protocol: by the time it is recorded nobody is reading
+// the response, but the status writer picks it up so cancelled requests are
+// counted as Counters.ClientGone instead of masquerading as successes.
+const StatusClientGone = 499
 
 // Config configures a Service.
 type Config struct {
@@ -56,26 +79,58 @@ type Config struct {
 	Engine *engine.Engine
 	// Log, if non-nil, receives request-failure and panic diagnostics.
 	Log func(format string, args ...interface{})
+	// BaseContext, if non-nil, bounds the lifetime of asynchronous jobs: a
+	// job's characterization runs under this context, not under the creating
+	// request's, so it survives the POST returning but stops when the server
+	// shuts down. Nil means context.Background(). It should be the same
+	// context as the engine's Config.BaseContext.
+	BaseContext context.Context
+	// JobTTL is how long a finished job (and its result) stays listed and
+	// fetchable before the job table drops it. Zero selects DefaultJobTTL;
+	// negative keeps finished jobs forever.
+	JobTTL time.Duration
+	// RateLimit, if positive, enables the token-bucket rate limiter:
+	// requests per second sustained across all endpoints except /healthz and
+	// /metrics (probes and scrapes must keep working while the service
+	// sheds load). Requests beyond the budget are answered 429 with a
+	// Retry-After header. Zero or negative disables limiting.
+	RateLimit float64
+	// RateBurst is the bucket depth of the rate limiter: how many requests
+	// may arrive back-to-back before the sustained rate applies. <= 0
+	// selects max(1, ceil(RateLimit)).
+	RateBurst int
 }
 
 // Counters are the service-level request counters, exposed (with the engine
-// stats) by /v1/stats.
+// stats) by /v1/stats and /metrics.
 type Counters struct {
 	// Requests counts every HTTP request received.
 	Requests int `json:"requests"`
-	// Errors counts requests answered with a 4xx or 5xx status.
+	// Errors counts requests answered with a 4xx or 5xx status (including
+	// rate-limited ones, but not client-cancelled ones).
 	Errors int `json:"errors"`
-	// Panics counts handler panics that were caught and converted to 500s.
-	// Anything non-zero here is a bug worth a report.
+	// Panics counts handler panics that were caught and converted to 500s
+	// (or connection aborts, when the body was already underway). Anything
+	// non-zero here is a bug worth a report.
 	Panics int `json:"panics"`
+	// ClientGone counts requests whose client went away (cancelled the
+	// request, closed the connection) before a response was written. They
+	// are neither successes nor server errors; without this counter they
+	// were invisible.
+	ClientGone int `json:"clientGone"`
+	// RateLimited counts requests rejected with 429 by the rate limiter.
+	RateLimited int `json:"rateLimited"`
 }
 
 // Service is the HTTP handler of the characterization service. It is safe
 // for concurrent use by any number of requests.
 type Service struct {
-	eng *engine.Engine
-	log func(format string, args ...interface{})
-	mux *http.ServeMux
+	eng     *engine.Engine
+	log     func(format string, args ...interface{})
+	mux     *http.ServeMux
+	baseCtx context.Context
+	jobs    *jobTable
+	limiter *rateLimiter
 
 	mu       sync.Mutex
 	counters Counters
@@ -101,17 +156,32 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Engine == nil {
 		return nil, errors.New("service: Config.Engine is required")
 	}
+	baseCtx := cfg.BaseContext
+	if baseCtx == nil {
+		baseCtx = context.Background()
+	}
 	s := &Service{
 		eng:       cfg.Engine,
 		log:       cfg.Log,
 		mux:       http.NewServeMux(),
+		baseCtx:   baseCtx,
+		jobs:      newJobTable(cfg.JobTTL),
 		iacaCache: make(map[uarch.Generation]*iacaEntry),
 	}
+	if cfg.RateLimit > 0 {
+		s.limiter = newRateLimiter(cfg.RateLimit, cfg.RateBurst)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/backends", s.handleBackends)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/arch/{gen}", s.handleArch)
 	s.mux.HandleFunc("GET /v1/arch/{gen}/variant/{name}", s.handleVariant)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobCreate)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	return s, nil
 }
 
@@ -134,8 +204,9 @@ func (s *Service) count(f func(*Counters)) {
 	s.mu.Unlock()
 }
 
-// statusWriter records the status code a handler wrote, for the error
-// counter.
+// statusWriter records the status code a handler wrote, for the error,
+// client-gone and panic accounting in ServeHTTP. StatusClientGone is only
+// recorded, never forwarded: nobody is reading that response.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
@@ -144,6 +215,9 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(status int) {
 	if w.status == 0 {
 		w.status = status
+	}
+	if status == StatusClientGone {
+		return
 	}
 	w.ResponseWriter.WriteHeader(status)
 }
@@ -155,25 +229,58 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return w.ResponseWriter.Write(p)
 }
 
-// ServeHTTP dispatches to the endpoint handlers, counting requests and
-// errors. A panicking handler — which would otherwise take down every
-// connection of the server — is caught, counted, logged and converted into a
-// 500 response.
+// Unwrap exposes the underlying writer to http.ResponseController, so
+// streaming handlers can flush through the wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// rateExempt reports whether a path bypasses the rate limiter: liveness
+// probes and metrics scrapes must keep answering exactly when the service is
+// shedding load.
+func rateExempt(path string) bool {
+	return path == "/healthz" || path == "/metrics"
+}
+
+// ServeHTTP dispatches to the endpoint handlers, counting requests, errors
+// and cancelled clients, and applying the rate limiter when one is
+// configured. A panicking handler — which would otherwise take down every
+// connection of the server — is caught, counted and logged; if no response
+// was started it is converted into a 500, but once the status or body is on
+// the wire a 500 can no longer be delivered, so the panic is re-raised as
+// http.ErrAbortHandler and the connection is torn down instead of ending a
+// 2xx response early and lying to the client.
 func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.count(func(c *Counters) { c.Requests++ })
 	sw := &statusWriter{ResponseWriter: w}
 	defer func() {
 		if p := recover(); p != nil {
-			s.count(func(c *Counters) { c.Panics++ })
+			abort := p == http.ErrAbortHandler || sw.status != 0
+			s.count(func(c *Counters) {
+				c.Panics++
+				if abort {
+					c.Errors++
+				}
+			})
 			s.logf("service: panic serving %s %s: %v", r.Method, r.URL.Path, p)
-			if sw.status == 0 {
-				http.Error(sw, "internal error", http.StatusInternalServerError)
+			if abort {
+				panic(http.ErrAbortHandler)
 			}
+			http.Error(sw, "internal error", http.StatusInternalServerError)
 		}
-		if sw.status >= 400 {
+		switch {
+		case sw.status == StatusClientGone:
+			s.count(func(c *Counters) { c.ClientGone++ })
+		case sw.status >= 400:
 			s.count(func(c *Counters) { c.Errors++ })
 		}
 	}()
+	if s.limiter != nil && !rateExempt(r.URL.Path) {
+		if ok, retry := s.limiter.allow(); !ok {
+			s.count(func(c *Counters) { c.RateLimited++ })
+			sw.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retry)))
+			s.fail(sw, http.StatusTooManyRequests, errors.New("service: rate limit exceeded"))
+			return
+		}
+	}
 	s.mux.ServeHTTP(sw, r)
 }
 
@@ -198,19 +305,36 @@ func (s *Service) writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Write(append(data, '\n'))
 }
 
-// wantXML reports whether the request asks for the XML rendering, via
-// ?format=xml or an Accept header whose first recognized media type is an
-// XML type. JSON is the default: a browser's Accept header (text/html
-// first, application/xml further down) or a catch-all must not flip the
-// format, so the header is matched on whole media-type tokens in listed
-// order, not by substring.
-func wantXML(r *http.Request) bool {
-	switch r.URL.Query().Get("format") {
-	case "xml":
-		return true
-	case "json":
-		return false
+// Representation formats of result documents.
+const (
+	formatJSON = "json"
+	formatXML  = "xml"
+)
+
+// requestFormat resolves the representation format of a request: an explicit
+// ?format=json|xml wins, any other ?format value is the caller's error (it
+// must be answered 400, not silently guessed over), and without the
+// parameter the Accept header decides via wantXML.
+func requestFormat(r *http.Request) (string, error) {
+	switch f := r.URL.Query().Get("format"); f {
+	case formatJSON, formatXML:
+		return f, nil
+	case "":
+	default:
+		return "", fmt.Errorf("service: unknown format %q (supported: json, xml)", f)
 	}
+	if wantXML(r) {
+		return formatXML, nil
+	}
+	return formatJSON, nil
+}
+
+// wantXML reports whether the request's Accept header asks for the XML
+// rendering: its first recognized media type is an XML type. JSON is the
+// default: a browser's Accept header (text/html first, application/xml
+// further down) or a catch-all must not flip the format, so the header is
+// matched on whole media-type tokens in listed order, not by substring.
+func wantXML(r *http.Request) bool {
 	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
 		mediaType, _, _ := strings.Cut(strings.TrimSpace(part), ";")
 		switch strings.TrimSpace(mediaType) {
@@ -223,10 +347,10 @@ func wantXML(r *http.Request) bool {
 	return false
 }
 
-// writeDoc renders a result document in the requested format. The XML
-// rendering is exactly the results-file format of cmd/uopsinfo.
-func (s *Service) writeDoc(w http.ResponseWriter, r *http.Request, doc *xmlout.Document) {
-	if !wantXML(r) {
+// writeDoc renders a result document in the given format. The XML rendering
+// is exactly the results-file format of cmd/uopsinfo.
+func (s *Service) writeDoc(w http.ResponseWriter, format string, doc *xmlout.Document) {
+	if format != formatXML {
 		s.writeJSON(w, doc)
 		return
 	}
@@ -297,28 +421,82 @@ func (s *Service) archFromRequest(w http.ResponseWriter, r *http.Request) (*uarc
 	return arch, true
 }
 
+// etag derives the entity tag of a characterization response from the run's
+// store digest and the representation format. The digest is the engine's
+// coalescing key — it covers the generation, backend fingerprint, measurement
+// protocol, variant universe and run options — and characterization is
+// deterministic, so equal tags imply byte-identical bodies.
+func etag(dig store.Digest, format string) string {
+	return `"` + dig.String() + "-" + format + `"`
+}
+
+// etagMatches implements the If-None-Match comparison: a list of entity tags
+// (or "*") matched against the response's tag. Weak-validator prefixes are
+// accepted — our tags are strong, so W/"x" matching "x" is still exact.
+func etagMatches(header, tag string) bool {
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == "*" || cand == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// clientGone records a request whose caller went away before a response was
+// written: the 499-style status makes it count as ClientGone, not as a
+// silent success.
+func (s *Service) clientGone(w http.ResponseWriter, r *http.Request, err error) {
+	s.logf("service: %s %s: client went away: %v", r.Method, r.URL.Path, err)
+	w.WriteHeader(StatusClientGone)
+}
+
 // characterize runs one request through the engine (coalescing with any
 // identical in-flight request) and handles the error surface: a cancelled
-// request writes nothing (the client is gone), anything else is a 500. The
+// request is recorded as ClientGone, anything else is a 500. The run digest
+// is the response's ETag, checked against If-None-Match first — a repeat
+// conditional GET is answered 304 without touching the engine at all. The
 // response carries the per-version IACA entries exactly like the CLI's
 // results file, so the XML rendering is byte-identical to what cmd/uopsinfo
 // writes for the same query.
-func (s *Service) characterize(w http.ResponseWriter, r *http.Request, arch *uarch.Arch, opts engine.RunOptions) {
+func (s *Service) characterize(w http.ResponseWriter, r *http.Request, arch *uarch.Arch, opts engine.RunOptions, format string) {
+	dig, err := s.eng.RunDigest(arch.Gen(), opts)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	tag := etag(dig, format)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, tag) {
+		w.Header().Set("ETag", tag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	res, err := s.eng.CharacterizeArchContext(r.Context(), arch.Gen(), opts)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			s.logf("service: %s %s: client went away: %v", r.Method, r.URL.Path, err)
+			s.clientGone(w, r, err)
 			return
 		}
 		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
+	s.writeResult(w, arch, res, format, tag)
+}
+
+// writeResult renders a characterization result with its entity tag, via the
+// same document-building path as the synchronous endpoints (shared with the
+// job result endpoint, which must produce byte-identical bodies).
+func (s *Service) writeResult(w http.ResponseWriter, arch *uarch.Arch, res *core.ArchResult, format, tag string) {
 	analyzers, err := s.analyzers(arch)
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.writeDoc(w, r, xmlout.Single(xmlout.FromArchResult(res, analyzers)))
+	if tag != "" {
+		w.Header().Set("ETag", tag)
+	}
+	s.writeDoc(w, format, xmlout.Single(xmlout.FromArchResult(res, analyzers)))
 }
 
 // analyzers returns the (lazily built, cached) IACA analyzers for a
@@ -344,17 +522,19 @@ func (s *Service) analyzers(arch *uarch.Arch) ([]*iaca.Analyzer, error) {
 	return ent.analyzers, ent.err
 }
 
-func (s *Service) handleArch(w http.ResponseWriter, r *http.Request) {
-	arch, ok := s.archFromRequest(w, r)
-	if !ok {
-		return
-	}
+// runOptionsFromRequest parses the characterization query surface shared by
+// the synchronous arch endpoint and the job API: ?quick and ?only. The
+// selection is canonicalized (resolved, sorted, deduplicated), which makes
+// equivalent requests identical to the engine: ?only=A,B and ?only=B,A share
+// one coalescing flight and one store entry, and a duplicated name is not
+// measured twice. The response is order-independent anyway (results are
+// rendered in sorted variant order).
+func runOptionsFromRequest(arch *uarch.Arch, r *http.Request) (engine.RunOptions, error) {
 	opts := engine.RunOptions{}
 	if q := r.URL.Query().Get("quick"); q != "" {
 		v, err := strconv.ParseBool(q)
 		if err != nil {
-			s.fail(w, http.StatusBadRequest, fmt.Errorf("service: quick=%q is not a boolean", q))
-			return
+			return opts, fmt.Errorf("service: quick=%q is not a boolean", q)
 		}
 		opts.SkipLatency = v
 	}
@@ -366,9 +546,7 @@ func (s *Service) handleArch(w http.ResponseWriter, r *http.Request) {
 			// status mapping: a mistyped ?only name is the caller's fault.
 			in := set.Lookup(name)
 			if in == nil {
-				s.fail(w, http.StatusBadRequest,
-					fmt.Errorf("service: %s has no instruction variant %q", arch.Name(), name))
-				return
+				return opts, fmt.Errorf("service: %s has no instruction variant %q", arch.Name(), name)
 			}
 			if seen[in.Name] {
 				continue
@@ -376,19 +554,37 @@ func (s *Service) handleArch(w http.ResponseWriter, r *http.Request) {
 			seen[in.Name] = true
 			opts.Only = append(opts.Only, in.Name)
 		}
-		// Canonical (sorted, deduplicated) selections make equivalent
-		// requests identical to the engine: ?only=A,B and ?only=B,A share
-		// one coalescing flight and one store entry, and a duplicated name
-		// is not measured twice. The response is order-independent anyway
-		// (results are rendered in sorted variant order).
 		sort.Strings(opts.Only)
 	}
-	s.characterize(w, r, arch, opts)
+	return opts, nil
+}
+
+func (s *Service) handleArch(w http.ResponseWriter, r *http.Request) {
+	arch, ok := s.archFromRequest(w, r)
+	if !ok {
+		return
+	}
+	format, err := requestFormat(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	opts, err := runOptionsFromRequest(arch, r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	s.characterize(w, r, arch, opts, format)
 }
 
 func (s *Service) handleVariant(w http.ResponseWriter, r *http.Request) {
 	arch, ok := s.archFromRequest(w, r)
 	if !ok {
+		return
+	}
+	format, err := requestFormat(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
 	name := r.PathValue("name")
@@ -398,5 +594,5 @@ func (s *Service) handleVariant(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("service: %s has no instruction variant %q", arch.Name(), name))
 		return
 	}
-	s.characterize(w, r, arch, engine.RunOptions{Only: []string{in.Name}})
+	s.characterize(w, r, arch, engine.RunOptions{Only: []string{in.Name}}, format)
 }

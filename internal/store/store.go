@@ -103,6 +103,14 @@ func (k Key) Digest() Digest {
 	return d
 }
 
+// String renders the digest as lowercase hex. It identifies a run's exact
+// content universe (generation, backend fingerprint, measurement protocol,
+// variant set, options), which makes it usable as an HTTP entity tag: two
+// responses with the same digest and representation format are byte-identical.
+func (d Digest) String() string {
+	return fmt.Sprintf("%x", d.sum)
+}
+
 // filename derives a store filename from the digest, an entry kind and an
 // extra discriminator (the variant name of per-variant entries).
 func (d Digest) filename(kind, extra string) string {
