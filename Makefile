@@ -10,8 +10,12 @@ COUNT ?= 1
 # numbers under in BENCH_pipesim.json (e.g. pr5-before, pr5-after).
 BENCH_LABEL ?= current
 
+# BENCH_GUARD_PCT is the ns/op regression tolerance (percent) that
+# bench-guard enforces on the hot Run* benchmarks.
+BENCH_GUARD_PCT ?= 30
+
 .PHONY: build test vet race bench bench-smoke bench-json bench-json-smoke \
-	bench-compare fmt fmt-check ci ci-cmd ci-service run-uopsd
+	bench-compare bench-guard fmt fmt-check ci ci-cmd ci-service run-uopsd
 
 build:
 	$(GO) build ./...
@@ -65,6 +69,31 @@ bench-compare:
 	@if command -v benchstat >/dev/null 2>&1; then benchstat $(OLD) $(NEW); \
 	else $(GO) run ./cmd/benchjson -compare $(OLD) $(NEW); fi
 
+# bench-guard is the ns/op regression gate on the hot simulator benchmarks
+# (the Run* shapes — the per-Run cost every characterization pays thousands of
+# times). With OLD=/NEW= it gates two saved bench outputs directly; otherwise
+# it benchmarks the working tree's internal/pipesim against the same
+# benchmarks built from HEAD in a temporary git worktree, and fails if any
+# benchmark present in both regresses more than BENCH_GUARD_PCT percent
+# (averaged over -count=3 to damp scheduler noise; benchmarks that exist only
+# on one side cannot regress and are reported but not gated). A tree whose
+# internal/pipesim matches HEAD passes immediately without benchmarking, so
+# the gate costs clean CI checkouts nothing.
+bench-guard:
+	@set -e; \
+	if [ -n "$(OLD)" ] && [ -n "$(NEW)" ]; then \
+		exec $(GO) run ./cmd/benchjson -compare -fail-above=$(BENCH_GUARD_PCT) $(OLD) $(NEW); fi; \
+	if git diff --quiet HEAD -- internal/pipesim 2>/dev/null; then \
+		echo "bench-guard: internal/pipesim unchanged vs HEAD; nothing to gate"; exit 0; fi; \
+	tmp=$$(mktemp -d); \
+	trap 'git worktree remove --force "$$tmp/head" >/dev/null 2>&1; rm -rf "$$tmp"' EXIT; \
+	git worktree add --detach "$$tmp/head" HEAD >/dev/null 2>&1; \
+	echo "bench-guard: benchmarking HEAD..."; \
+	( cd "$$tmp/head" && $(GO) test -run='^$$' -bench='BenchmarkRun' -count=3 -benchtime=0.3s ./internal/pipesim ) > "$$tmp/old.txt"; \
+	echo "bench-guard: benchmarking working tree..."; \
+	$(GO) test -run='^$$' -bench='BenchmarkRun' -count=3 -benchtime=0.3s ./internal/pipesim > "$$tmp/new.txt"; \
+	$(GO) run ./cmd/benchjson -compare -fail-above=$(BENCH_GUARD_PCT) "$$tmp/old.txt" "$$tmp/new.txt"
+
 fmt:
 	gofmt -l -w .
 
@@ -102,6 +131,6 @@ ci-service:
 # ci is the gate for every change: formatting and static checks, the full
 # test suite under the race detector (the characterization scheduler, the
 # engine and the service are concurrent), a one-iteration pass over every
-# benchmark, the benchmark-trajectory pipeline smoke, and the command-level
-# cache/backend/service checks.
-ci: fmt-check vet race bench-smoke bench-json-smoke ci-cmd ci-service
+# benchmark, the benchmark-trajectory pipeline smoke, the hot-path ns/op
+# regression gate, and the command-level cache/backend/service checks.
+ci: fmt-check vet race bench-smoke bench-json-smoke bench-guard ci-cmd ci-service

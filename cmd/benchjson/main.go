@@ -15,9 +15,12 @@
 //
 // In comparison mode, the two arguments are benchmark text files (as saved
 // from `make bench > old.txt`); each benchmark present in both is printed
-// with its old and new ns/op and the speedup factor. benchstat, if
-// installed, gives statistically sounder output; this mode is the
-// zero-dependency fallback used by `make bench-compare`.
+// with its old and new ns/op and the speedup factor. With -fail-above=N the
+// command additionally exits nonzero when any benchmark's new ns/op exceeds
+// its old value by more than N percent, which is what `make bench-guard`
+// uses as a CI regression gate. benchstat, if installed, gives statistically
+// sounder output; this mode is the zero-dependency fallback used by
+// `make bench-compare`.
 package main
 
 import (
@@ -205,7 +208,16 @@ func convert(label, outPath, note, suffixMode string) error {
 	return nil
 }
 
-func compare(oldPath, newPath, suffixMode string) error {
+// regression is one benchmark whose new ns/op exceeds the -fail-above
+// tolerance over its old ns/op.
+type regression struct {
+	name    string
+	oldNs   float64
+	newNs   float64
+	overPct float64
+}
+
+func compare(oldPath, newPath, suffixMode string, failAbove float64) error {
 	readFile := func(path string) (map[string]Entry, error) {
 		f, err := os.Open(path)
 		if err != nil {
@@ -226,6 +238,7 @@ func compare(oldPath, newPath, suffixMode string) error {
 	defer w.Flush()
 	fmt.Fprintf(w, "%-45s %14s %14s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "speedup", "allocs")
 	var oldOnly, newOnly []string
+	var regressions []regression
 	for _, name := range sortedNames(oldB) {
 		o := oldB[name]
 		n, ok := newB[name]
@@ -236,6 +249,11 @@ func compare(oldPath, newPath, suffixMode string) error {
 		speedup := "-"
 		if n.NsOp > 0 {
 			speedup = fmt.Sprintf("%.2fx", o.NsOp/n.NsOp)
+		}
+		if failAbove >= 0 && o.NsOp > 0 {
+			if over := (n.NsOp/o.NsOp - 1) * 100; over > failAbove {
+				regressions = append(regressions, regression{name: name, oldNs: o.NsOp, newNs: n.NsOp, overPct: over})
+			}
 		}
 		allocs := fmt.Sprintf("%.0f→%.0f", o.AllocsOp, n.AllocsOp)
 		fmt.Fprintf(w, "%-45s %14.0f %14.0f %9s %9s\n", name, o.NsOp, n.NsOp, speedup, allocs)
@@ -253,6 +271,14 @@ func compare(oldPath, newPath, suffixMode string) error {
 	for _, name := range newOnly {
 		fmt.Fprintf(w, "%-45s %14s %14.0f\n", name, "(only in new)", newB[name].NsOp)
 	}
+	if len(regressions) > 0 {
+		w.Flush()
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: %.0f -> %.0f ns/op (+%.1f%%, tolerance %.1f%%)\n",
+				r.name, r.oldNs, r.newNs, r.overPct, failAbove)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.1f%%", len(regressions), failAbove)
+	}
 	return nil
 }
 
@@ -263,6 +289,8 @@ func main() {
 	out := flag.String("o", "BENCH_pipesim.json", `output JSON file ("-" for stdout, merged with existing labels otherwise)`)
 	note := flag.String("note", "", "replace the document note")
 	doCompare := flag.Bool("compare", false, "compare two benchmark text files instead of converting stdin")
+	failAbove := flag.Float64("fail-above", -1,
+		"with -compare: exit nonzero if any benchmark's new ns/op regresses more than this percentage over old (negative disables)")
 	suffixMode := flag.String("cpusuffix", "auto",
 		`handling of the trailing "-GOMAXPROCS" in benchmark names: auto (strip when uniform), keep, strip`)
 	flag.Parse()
@@ -270,9 +298,9 @@ func main() {
 	var err error
 	if *doCompare {
 		if flag.NArg() != 2 {
-			log.Fatal("usage: benchjson -compare OLD.txt NEW.txt")
+			log.Fatal("usage: benchjson -compare [-fail-above=N] OLD.txt NEW.txt")
 		}
-		err = compare(flag.Arg(0), flag.Arg(1), *suffixMode)
+		err = compare(flag.Arg(0), flag.Arg(1), *suffixMode, *failAbove)
 	} else {
 		err = convert(*label, *out, *note, *suffixMode)
 	}

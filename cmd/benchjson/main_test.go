@@ -161,3 +161,31 @@ BenchmarkBar/parallel-4   10   300 ns/op
 		t.Errorf("strip mode merged colliding names: %v", got)
 	}
 }
+
+func TestCompareFailAbove(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.txt")
+	newPath := filepath.Join(dir, "new.txt")
+	write := func(path, text string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(oldPath, "BenchmarkRunA-8 100 1000 ns/op\nBenchmarkRunB-8 100 2000 ns/op\n")
+
+	// Within tolerance: 5% over on A, B improved.
+	write(newPath, "BenchmarkRunA-8 100 1050 ns/op\nBenchmarkRunB-8 100 1500 ns/op\n")
+	if err := compare(oldPath, newPath, "auto", 10); err != nil {
+		t.Fatalf("5%% regression under a 10%% gate failed: %v", err)
+	}
+	// Beyond tolerance: A is 50% slower.
+	write(newPath, "BenchmarkRunA-8 100 1500 ns/op\nBenchmarkRunB-8 100 1500 ns/op\n")
+	if err := compare(oldPath, newPath, "auto", 10); err == nil {
+		t.Fatal("50% regression under a 10% gate did not fail")
+	}
+	// Negative threshold disables the gate entirely.
+	if err := compare(oldPath, newPath, "auto", -1); err != nil {
+		t.Fatalf("disabled gate failed: %v", err)
+	}
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	uopsinfo [-arch "Skylake"] [-out results.xml] [-sample 20] [-only ADD_R64_R64,IMUL_R64_R64] [-quick] [-j 8] [-cache DIR] [-backend pipesim]
+//	uopsinfo [-arch "Skylake"] [-out results.xml] [-sample 20] [-only ADD_R64_R64,IMUL_R64_R64] [-quick] [-j 8] [-cache DIR] [-backend pipesim] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The -j flag sets the total number of parallel workers (default: the number
 // of CPUs). Architectures are characterized concurrently and, within each
@@ -34,6 +34,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"runtime/pprof"
 
 	"uopsinfo/internal/engine"
 	"uopsinfo/internal/iaca"
@@ -69,6 +71,8 @@ type config struct {
 	cache    string
 	backend  string
 	backends bool
+	cpuprof  string
+	memprof  string
 }
 
 // run parses the arguments and executes the characterization pipeline. It is
@@ -87,6 +91,8 @@ func run(args []string, stdout io.Writer, logger *log.Logger) error {
 	fs.StringVar(&cfg.cache, "cache", "", "directory of the persistent result store (blocking sets, results and per-variant records are reused across runs)")
 	fs.StringVar(&cfg.backend, "backend", "", `measurement backend to run on (default: "`+measure.DefaultBackend+`"; see -backends)`)
 	fs.BoolVar(&cfg.backends, "backends", false, "list the registered measurement backends and exit")
+	fs.StringVar(&cfg.cpuprof, "cpuprofile", "", "write a CPU profile of the characterization to this file")
+	fs.StringVar(&cfg.memprof, "memprofile", "", "write a heap profile (after characterization) to this file")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -127,6 +133,21 @@ func run(args []string, stdout io.Writer, logger *log.Logger) error {
 	eng, err := engine.New(ecfg)
 	if err != nil {
 		return err
+	}
+
+	// The CPU profile brackets the whole characterization (including the XML
+	// write); the heap profile is taken once at the end, after a GC, so it
+	// shows what the pipeline retains rather than transient garbage.
+	if cfg.cpuprof != "" {
+		f, err := os.Create(cfg.cpuprof)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("start CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	// Split the worker budget between the architecture level and the
@@ -177,6 +198,18 @@ func run(args []string, stdout io.Writer, logger *log.Logger) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "wrote %s\n", cfg.out)
+
+	if cfg.memprof != "" {
+		mf, err := os.Create(cfg.memprof)
+		if err != nil {
+			return err
+		}
+		defer mf.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			return fmt.Errorf("write heap profile: %w", err)
+		}
+	}
 	return nil
 }
 

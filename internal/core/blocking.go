@@ -237,10 +237,16 @@ func (c *Characterizer) isolationProfiles(cands []*isa.Instr, opts Options) ([]i
 		workers = len(cands)
 	}
 	if workers > 1 {
+		// The worker stacks come from the fork pool, so the same warm
+		// machines that discover blocking instructions go on to measure the
+		// variants afterwards (and later runs reuse them again).
 		forks := make([]*Characterizer, 0, workers)
 		for i := 0; i < workers; i++ {
-			fc, err := c.Fork()
+			fc, err := c.acquireFork()
 			if err != nil {
+				for _, fc := range forks {
+					c.releaseFork(fc)
+				}
 				forks = nil
 				break
 			}
@@ -267,6 +273,9 @@ func (c *Characterizer) isolationProfiles(cands []*isa.Instr, opts Options) ([]i
 				}(fc)
 			}
 			wg.Wait()
+			for _, fc := range forks {
+				c.releaseFork(fc)
+			}
 			if err := runCancelled(opts.Context); err != nil {
 				return nil, err
 			}

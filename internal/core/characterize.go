@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"uopsinfo/internal/isa"
 	"uopsinfo/internal/measure"
@@ -16,6 +17,16 @@ import (
 type Characterizer struct {
 	gen      *gen
 	blocking *BlockingSet
+
+	// Worker stacks are pooled rather than forked per run: a long-lived
+	// Characterizer (the engine caches one per generation) hands warm
+	// harness/machine pairs to successive parallel runs via acquireFork/
+	// releaseFork, so simulator arenas, memoized perf descriptions, repeat
+	// buffers and chain-latency caches survive across runs. poolChars maps a
+	// pooled harness back to the fork Characterizer wrapped around it.
+	poolMu    sync.Mutex
+	pool      *measure.Pool
+	poolChars map[*measure.Harness]*Characterizer
 }
 
 // New returns a Characterizer for the given measurement harness.

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"uopsinfo/internal/isa"
+	"uopsinfo/internal/measure"
 )
 
 // This file implements the sharded characterization scheduler. Every
@@ -37,12 +38,85 @@ func (c *Characterizer) Fork() (*Characterizer, error) {
 	nc.blocking = c.blocking
 	// Chain-instruction latencies are deterministic calibration values, so
 	// the fork can start from the parent's cache instead of re-measuring
-	// them. Fork runs on the caller's goroutine before the fork is handed to
-	// a worker, so the copy is race-free.
+	// them. poolMu serializes the copy against a concurrent releaseFork
+	// merging latencies back into the parent.
+	c.poolMu.Lock()
 	for name, lat := range c.gen.chainLat {
 		nc.gen.chainLat[name] = lat
 	}
+	c.poolMu.Unlock()
 	return nc, nil
+}
+
+// acquireFork returns a worker Characterizer from the pool: a warm one —
+// populated simulator arenas, memoized perf descriptions, grown repeat
+// buffers, filled chain-latency cache — if a previous run returned one, or a
+// fresh Fork otherwise. The fork is exclusively owned until releaseFork.
+// Per-variant results do not depend on the warmth of the stack that measures
+// them (the resume-invariance and fork-differential tests pin this), so a
+// pooled fork and a fresh fork are interchangeable.
+func (c *Characterizer) acquireFork() (*Characterizer, error) {
+	c.poolMu.Lock()
+	if c.pool == nil {
+		c.pool = measure.NewPool(c.gen.h)
+		c.poolChars = make(map[*measure.Harness]*Characterizer)
+	}
+	pool := c.pool
+	c.poolMu.Unlock()
+
+	h, _, err := pool.Get()
+	if err != nil {
+		return nil, fmt.Errorf("core: forking characterizer: %w", err)
+	}
+
+	c.poolMu.Lock()
+	defer c.poolMu.Unlock()
+	fc := c.poolChars[h]
+	if fc == nil {
+		fc = New(h)
+		c.poolChars[h] = fc
+	}
+	// The blocking set may have been discovered (or re-pointed) since this
+	// fork was parked; chain latencies are deterministic calibration values,
+	// so top the fork's cache up with anything the parent has learned since.
+	fc.blocking = c.blocking
+	for name, lat := range c.gen.chainLat {
+		if _, ok := fc.gen.chainLat[name]; !ok {
+			fc.gen.chainLat[name] = lat
+		}
+	}
+	return fc, nil
+}
+
+// releaseFork parks a fork obtained from acquireFork back into the pool and
+// folds freshly measured chain latencies back into the parent's cache, so
+// later runs (on any fork) start warmer. Must be called from a single
+// goroutine per fork after its workers have finished.
+func (c *Characterizer) releaseFork(fc *Characterizer) {
+	if fc == nil {
+		return
+	}
+	c.poolMu.Lock()
+	for name, lat := range fc.gen.chainLat {
+		if _, ok := c.gen.chainLat[name]; !ok {
+			c.gen.chainLat[name] = lat
+		}
+	}
+	pool := c.pool
+	c.poolMu.Unlock()
+	pool.Put(fc.gen.h)
+}
+
+// PoolStats reports how effective the fork pool has been; zero-valued until
+// the first parallel run.
+func (c *Characterizer) PoolStats() measure.PoolStats {
+	c.poolMu.Lock()
+	pool := c.pool
+	c.poolMu.Unlock()
+	if pool == nil {
+		return measure.PoolStats{}
+	}
+	return pool.Stats()
 }
 
 // resolveInstrs returns the instruction variants selected by opts, in the
@@ -127,13 +201,17 @@ func (c *Characterizer) characterizeParallel(instrs []*isa.Instr, opts Options, 
 	results := make([]*InstrResult, len(instrs))
 	sink := &progressSink{total: len(instrs), fn: opts.Progress, recFn: opts.Variant}
 
-	// Fork the worker stacks up front. A runner that cannot be forked is not
+	// Acquire the worker stacks up front, warm ones from the pool when a
+	// previous run has returned any. A runner that cannot be forked is not
 	// an error: the calling Characterizer can still do the whole run, so
 	// fall back to the sequential path (matching the Workers <= 1 contract).
 	forks := make([]*Characterizer, workers)
 	for i := range forks {
-		fc, err := c.Fork()
+		fc, err := c.acquireFork()
 		if err != nil {
+			for _, fc := range forks[:i] {
+				c.releaseFork(fc)
+			}
 			return c.characterizeSequential(instrs, opts)
 		}
 		forks[i] = fc
@@ -159,6 +237,9 @@ func (c *Characterizer) characterizeParallel(instrs []*isa.Instr, opts Options, 
 		}(fc)
 	}
 	wg.Wait()
+	for _, fc := range forks {
+		c.releaseFork(fc)
+	}
 	if err := runCancelled(opts.Context); err != nil {
 		return nil, err
 	}

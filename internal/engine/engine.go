@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"uopsinfo/internal/core"
 	"uopsinfo/internal/measure"
@@ -95,6 +96,17 @@ type Stats struct {
 	// CoalescedWaiters by K-1.
 	Runs             int `json:"runs"`
 	CoalescedWaiters int `json:"coalescedWaiters"`
+	// PoolForked and PoolReused count worker-stack checkouts from the
+	// per-generation fork pools: Forked built a fresh simulator/harness
+	// stack, Reused picked up a warm one from a previous run (its simulator
+	// arenas, memoized perf descriptions and repeat buffers intact).
+	// PoolSeqBuilt and PoolSeqReused count, inside those pooled harnesses,
+	// how often Measure materialized its n-copy repeat sequences versus
+	// reusing the ones already buffered. Aggregated across generations.
+	PoolForked    int64 `json:"poolForked"`
+	PoolReused    int64 `json:"poolReused"`
+	PoolSeqBuilt  int64 `json:"poolSeqBuilt"`
+	PoolSeqReused int64 `json:"poolSeqReused"`
 }
 
 // Engine builds and caches one characterization stack per generation.
@@ -128,11 +140,14 @@ type Engine struct {
 }
 
 // charEntry makes concurrent requests for the same generation build the
-// stack exactly once.
+// stack exactly once. built is set (atomically, after c and err) when the
+// build has completed, so Stats can aggregate pool counters from finished
+// entries without waiting on — or racing with — an in-progress build.
 type charEntry struct {
-	once sync.Once
-	c    *core.Characterizer
-	err  error
+	once  sync.Once
+	c     *core.Characterizer
+	err   error
+	built atomic.Bool
 }
 
 // RunProgress is a point-in-time snapshot of one in-flight characterization
@@ -369,11 +384,30 @@ func (e *Engine) fingerprint() string {
 }
 
 // Stats returns a snapshot of the engine's cumulative cache and measurement
-// counters.
+// counters, including the fork-pool effectiveness counters aggregated across
+// every generation whose stack has finished building.
 func (e *Engine) Stats() Stats {
 	e.statsMu.Lock()
-	defer e.statsMu.Unlock()
-	return e.stats
+	s := e.stats
+	e.statsMu.Unlock()
+
+	e.mu.Lock()
+	entries := make([]*charEntry, 0, len(e.chars))
+	for _, ent := range e.chars {
+		entries = append(entries, ent)
+	}
+	e.mu.Unlock()
+	var pool measure.PoolStats
+	for _, ent := range entries {
+		if ent.built.Load() && ent.c != nil {
+			pool = pool.Add(ent.c.PoolStats())
+		}
+	}
+	s.PoolForked += pool.Forked
+	s.PoolReused += pool.Reused
+	s.PoolSeqBuilt += pool.SeqBuilt
+	s.PoolSeqReused += pool.SeqReused
+	return s
 }
 
 func (e *Engine) count(f func(*Stats)) {
@@ -423,7 +457,10 @@ func (e *Engine) characterizer(gen uarch.Generation, workers int) (*core.Charact
 		e.chars[gen] = ent
 	}
 	e.mu.Unlock()
-	ent.once.Do(func() { ent.c, ent.err = e.build(gen, workers) })
+	ent.once.Do(func() {
+		ent.c, ent.err = e.build(gen, workers)
+		ent.built.Store(true)
+	})
 	return ent.c, ent.err
 }
 

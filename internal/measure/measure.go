@@ -106,10 +106,19 @@ type Harness struct {
 
 	// shortBuf and longBuf hold the materialized n-copy sequences for the
 	// current measurement. The protocol runs each of them once per
-	// repetition (plus warmup), so they are built once per Measure call and
-	// their backing arrays are reused across calls.
+	// repetition (plus warmup), so they are built at most once per Measure
+	// call and their backing arrays are reused across calls; when the same
+	// code sequence is measured again back to back (e.g. re-measuring a
+	// divider variant under a different operand-value regime), the buffers
+	// are reused outright.
 	shortBuf asmgen.Sequence
 	longBuf  asmgen.Sequence
+	// bufLen is the length of the code sequence the buffers currently hold
+	// (0 = none); seqBuilt/seqReused count rebuilds vs reuses for
+	// PoolStats.
+	bufLen    int
+	seqBuilt  int64
+	seqReused int64
 }
 
 // New returns a harness with the default configuration.
@@ -164,9 +173,19 @@ func (h *Harness) Measure(code asmgen.Sequence) (Result, error) {
 
 	// Materialize the two copy-count sequences once; every repetition (and
 	// the warmup) runs the same code, so re-concatenating it per run would
-	// only produce garbage for identical inputs.
-	h.shortBuf = repeatInto(h.shortBuf[:0], code, h.cfg.ShortCopies)
-	h.longBuf = repeatInto(h.longBuf[:0], code, h.cfg.LongCopies)
+	// only produce garbage for identical inputs. If the buffers already hold
+	// exactly this code (same instruction instances, element for element),
+	// skip even that: repeating the same pointers again would write back the
+	// identical slice contents.
+	if h.bufLen == len(code) && len(h.shortBuf) == len(code)*h.cfg.ShortCopies &&
+		samePrefix(h.shortBuf, code) {
+		h.seqReused++
+	} else {
+		h.shortBuf = repeatInto(h.shortBuf[:0], code, h.cfg.ShortCopies)
+		h.longBuf = repeatInto(h.longBuf[:0], code, h.cfg.LongCopies)
+		h.bufLen = len(code)
+		h.seqBuilt++
+	}
 
 	if h.cfg.Warmup {
 		if _, err := h.rawRun(h.shortBuf); err != nil {
@@ -210,6 +229,31 @@ func repeatInto(dst, code asmgen.Sequence, n int) asmgen.Sequence {
 		dst = append(dst, code...)
 	}
 	return dst
+}
+
+// samePrefix reports whether buf starts with exactly the instruction
+// instances of code. Pointer identity is the right comparison: the buffers
+// are built from the caller's instruction pointers, and an instruction
+// mutated in place is the same pointer with the same (mutated) contents
+// either way.
+func samePrefix(buf, code asmgen.Sequence) bool {
+	if len(buf) < len(code) {
+		return false
+	}
+	for i, in := range code {
+		if buf[i] != in {
+			return false
+		}
+	}
+	return true
+}
+
+// takeSeqStats returns and resets the harness's sequence-reuse counters
+// (called by Pool.Put, which owns the harness at that point).
+func (h *Harness) takeSeqStats() (built, reused int64) {
+	built, reused = h.seqBuilt, h.seqReused
+	h.seqBuilt, h.seqReused = 0, 0
+	return built, reused
 }
 
 // rawRun executes an already-materialized n-copy sequence and adds the

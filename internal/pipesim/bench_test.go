@@ -43,3 +43,17 @@ func BenchmarkRunBlockingSequence(b *testing.B) {
 func BenchmarkRunLoadStoreMix(b *testing.B) {
 	benchSequence(b, seqLoadStoreMix(uarch.Get(uarch.Skylake)))
 }
+
+// The two scheduler-pressure shapes: a window saturated with ready µops
+// behind a single-port bottleneck, and a window full of late-waking
+// consumers. They make the per-cycle cost of the dispatch stage itself
+// visible, which the four shapes above under-stress (their windows stay
+// small or drain quickly).
+
+func BenchmarkRunWideIndependentWindow(b *testing.B) {
+	benchSequence(b, seqWideIndependentWindow(uarch.Get(uarch.Skylake)))
+}
+
+func BenchmarkRunScatteredDeps(b *testing.B) {
+	benchSequence(b, seqScatteredDeps(uarch.Get(uarch.Skylake)))
+}

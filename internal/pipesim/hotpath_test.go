@@ -46,6 +46,44 @@ func seqBlockingSequence(arch *uarch.Arch) asmgen.Sequence {
 	return append(seq, asmgen.MustInst(movq2dq, asmgen.RegOperand(isa.XMM3), asmgen.RegOperand(isa.MM0)))
 }
 
+// seqWideIndependentWindow keeps the scheduler window full of *ready* µops:
+// IMUL is restricted to one execution port on every modelled generation, so
+// the front end (4 µops/cycle) outruns dispatch (1 µop/cycle) and the window
+// saturates at its 60-entry capacity with µops whose inputs are long since
+// available. A dispatch stage that rescans the whole window pays O(window)
+// per cycle here for one dispatch of progress.
+func seqWideIndependentWindow(arch *uarch.Arch) asmgen.Sequence {
+	imul := arch.InstrSet().Lookup("IMUL_R64_R64")
+	regs := []isa.Reg{isa.RAX, isa.RBX, isa.RCX, isa.RDX, isa.RSI, isa.RDI, isa.R8, isa.R9}
+	var seq asmgen.Sequence
+	for i := 0; i < 256; i++ {
+		r := regs[i%len(regs)]
+		seq = append(seq, asmgen.MustInst(imul, asmgen.RegOperand(r), asmgen.RegOperand(r)))
+	}
+	return seq
+}
+
+// seqScatteredDeps fills the window with *late-waking* consumers: a serial
+// IMUL chain on RAX interleaved with fans of ADDs that each read the chain's
+// latest value. The consumers issue long before their input is ready and sit
+// in the window for many cycles; a scanning dispatch stage re-walks every
+// waiting µop's operands every cycle, while wake-up lists touch each consumer
+// only when the producing IMUL actually dispatches.
+func seqScatteredDeps(arch *uarch.Arch) asmgen.Sequence {
+	imul := arch.InstrSet().Lookup("IMUL_R64_R64")
+	add := arch.InstrSet().Lookup("ADD_R64_R64")
+	consumers := []isa.Reg{isa.RBX, isa.RCX, isa.RDX, isa.RSI, isa.RDI, isa.R8, isa.R9, isa.R10,
+		isa.R11, isa.R12, isa.R13, isa.R14, isa.R15}
+	var seq asmgen.Sequence
+	for block := 0; block < 16; block++ {
+		seq = append(seq, asmgen.MustInst(imul, asmgen.RegOperand(isa.RAX), asmgen.RegOperand(isa.RAX)))
+		for _, r := range consumers {
+			seq = append(seq, asmgen.MustInst(add, asmgen.RegOperand(r), asmgen.RegOperand(isa.RAX)))
+		}
+	}
+	return seq
+}
+
 func seqLoadStoreMix(arch *uarch.Arch) asmgen.Sequence {
 	store := arch.InstrSet().Lookup("MOV_M64_R64")
 	load := arch.InstrSet().Lookup("MOV_R64_M64")
@@ -71,6 +109,8 @@ func TestRunSteadyStateAllocs(t *testing.T) {
 		{"DependencyChain", seqDependencyChain(arch)},
 		{"BlockingSequence", seqBlockingSequence(arch)},
 		{"LoadStoreMix", seqLoadStoreMix(arch)},
+		{"WideIndependentWindow", seqWideIndependentWindow(arch)},
+		{"ScatteredDeps", seqScatteredDeps(arch)},
 	}
 	for _, shape := range shapes {
 		t.Run(shape.name, func(t *testing.T) {
@@ -187,6 +227,18 @@ func TestRunDifferentialAcrossForks(t *testing.T) {
 			dirt := seqLoadStoreMix(arch)
 			parent.MustRun(dirt) // leave populated arenas behind
 			fork := parent.Clone()
+
+			// The scheduler-pressure shapes join the random pool: they keep
+			// the 60-entry window saturated (wide-independent) or full of
+			// late-waking consumers (scattered deps), stressing the wake-up
+			// list/ready-queue machinery far harder than random short
+			// sequences do.
+			seqs = append(seqs,
+				seqWideIndependentWindow(arch),
+				seqScatteredDeps(arch),
+				seqIndependentALU(arch),
+				seqDependencyChain(arch),
+				seqBlockingSequence(arch))
 
 			for i, seq := range seqs {
 				want := parent.MustRun(seq)

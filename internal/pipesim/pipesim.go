@@ -26,7 +26,11 @@
 // state: dynamic µops and renamed values live in per-Machine arenas that are
 // reset (not freed) between runs, the rename scoreboard is a flat array
 // keyed by register family and status flag, and per-µop port sets are
-// precomputed bitmasks. A Machine consequently carries mutable per-run
+// precomputed bitmasks. Dispatch is event-driven: each renamed value keeps a
+// wake-up list of the µops waiting on it, a µop enters the ready queue only
+// when its last input's ready time arrives, and the per-cycle dispatch walk
+// touches ready µops only (never the whole scheduler window). A Machine
+// consequently carries mutable per-run
 // state and must not be used from multiple goroutines concurrently; use
 // Clone to obtain independent Machines for concurrent workers.
 package pipesim
@@ -34,6 +38,7 @@ package pipesim
 import (
 	"fmt"
 	"math/bits"
+	"slices"
 
 	"uopsinfo/internal/asmgen"
 	"uopsinfo/internal/isa"
@@ -127,23 +132,35 @@ const maxPorts = 16
 const numFlagVals = int(isa.NumFlags)
 
 // dynVal is one renamed value (a physical-register-like entity). Values live
-// in the Machine's val arena and are referenced by index.
+// in the Machine's val arena and are referenced by index. waiters heads the
+// value's wake-up list: the µops that issued before the value was known and
+// must be notified (pending count decremented, readyAt folded in) when the
+// producer dispatches. The list is linked through the Machine's waiter-node
+// arena and consumed exactly once.
 type dynVal struct {
-	ready  int32 // cycle the value becomes available
-	known  bool  // producer has dispatched (or the value is live-in)
-	domain isa.Domain
+	ready   int32 // cycle the value becomes available
+	waiters int32 // head of the wake-up list (waiter-node index, -1 = none)
+	known   bool  // producer has dispatched (or the value is live-in)
+	domain  isa.Domain
 }
 
 // dynUop is one dynamic µop instance. µops live in the Machine's µop arena;
 // their read and write value lists are [start,end) segments of the shared
 // readIdx/writeIdx backing slices (writeLat is parallel to writeIdx).
+// pending and readyAt are the wake-up bookkeeping, maintained from issue
+// onward: pending counts read values whose producer has not yet dispatched,
+// and readyAt accumulates the latest input-ready time seen so far (including
+// the bypass delay for µops that execute on a port; eliminated µops complete
+// at rename and take no bypass). A µop enters the dispatch ready queue only
+// when pending reaches zero and the cycle reaches readyAt.
 type dynUop struct {
 	rdStart, rdEnd int32
 	wrStart, wrEnd int32
+	pending        int32
+	readyAt        int32
 	portMask       uint16 // allowed execution ports as a bitmask
 	eliminated     bool
 	divider        bool
-	dispatched     bool
 	domain         isa.Domain
 	divOcc         int32
 }
@@ -188,10 +205,21 @@ type Machine struct {
 	tempEpoch []uint64
 	tempGen   uint64
 
-	// Scheduler state reused across runs.
-	sched    []int32
-	elim     []int32
-	portLoad [maxPorts]int32
+	// Wake-up and scheduler state reused across runs. wnUop/wnNext are the
+	// waiter-node arena (one node per read of a not-yet-known value, linked
+	// into the value's wake-up list); wakeHeap is a binary min-heap of
+	// (readyAt, µop) pairs packed into uint64s; readyQ holds the µops whose
+	// wake-up time has arrived, sorted by µop index (program order), with
+	// readyScratch/arrivals as its merge buffers; elimReady queues
+	// rename-handled µops whose inputs are all known.
+	wnUop        []int32
+	wnNext       []int32
+	wakeHeap     []uint64
+	readyQ       []int32
+	readyScratch []int32
+	arrivals     []int32
+	elimReady    []int32
+	portLoad     [maxPorts]int32
 
 	initialized bool
 }
@@ -272,8 +300,13 @@ func (m *Machine) Reset() {
 	for i := range m.produced {
 		m.produced[i] = false
 	}
-	m.sched = m.sched[:0]
-	m.elim = m.elim[:0]
+	m.wnUop = m.wnUop[:0]
+	m.wnNext = m.wnNext[:0]
+	m.wakeHeap = m.wakeHeap[:0]
+	m.readyQ = m.readyQ[:0]
+	m.readyScratch = m.readyScratch[:0]
+	m.arrivals = m.arrivals[:0]
+	m.elimReady = m.elimReady[:0]
 	m.portLoad = [maxPorts]int32{}
 	// tempGen is deliberately NOT reset: temp slots are validated by epoch,
 	// and the monotonically increasing generation keeps slots from a
@@ -287,7 +320,9 @@ func (m *Machine) Reset() {
 func (m *Machine) checkResetInvariants() {
 	if len(m.vals) != 0 || len(m.uops) != 0 || len(m.readIdx) != 0 ||
 		len(m.writeIdx) != 0 || len(m.writeLat) != 0 ||
-		len(m.sched) != 0 || len(m.elim) != 0 || len(m.memBoard) != 0 {
+		len(m.wnUop) != 0 || len(m.wnNext) != 0 || len(m.wakeHeap) != 0 ||
+		len(m.readyQ) != 0 || len(m.arrivals) != 0 || len(m.elimReady) != 0 ||
+		len(m.memBoard) != 0 {
 		panic("pipesim: Reset left arena or queue state behind")
 	}
 	for i := range m.regBoard {
@@ -352,7 +387,7 @@ func (m *Machine) perfFor(in *isa.Instr) *uarch.InstrPerf {
 // newVal appends a renamed value to the arena and returns its index.
 func (m *Machine) newVal(ready int32, known bool, dom isa.Domain) int32 {
 	idx := int32(len(m.vals))
-	m.vals = append(m.vals, dynVal{ready: ready, known: known, domain: dom})
+	m.vals = append(m.vals, dynVal{ready: ready, waiters: -1, known: known, domain: dom})
 	return idx
 }
 
@@ -724,9 +759,114 @@ func bypassDelay(from, to isa.Domain) int {
 	return 0
 }
 
-// execute runs the issue/dispatch loop. It is event-driven: cycles in which
-// provably nothing can issue, complete or dispatch are skipped in one step
-// to the next ready event instead of being walked one by one.
+// wireUop computes the wake-up bookkeeping for a µop at issue time: pending
+// (reads whose producer has not yet dispatched) and readyAt (the latest ready
+// time over the already-known reads, bypass-adjusted for port-bound µops).
+// Every unknown read registers a waiter node on the value, so the µop is
+// notified — instead of re-polled — when the producer dispatches. Returns the
+// pending count.
+func (m *Machine) wireUop(ui int32, u *dynUop) int32 {
+	pending := int32(0)
+	readyAt := int32(0)
+	for ri := u.rdStart; ri < u.rdEnd; ri++ {
+		v := &m.vals[m.readIdx[ri]]
+		if v.known {
+			t := v.ready
+			if !u.eliminated {
+				t += int32(bypassDelay(v.domain, u.domain))
+			}
+			if t > readyAt {
+				readyAt = t
+			}
+			continue
+		}
+		pending++
+		m.wnUop = append(m.wnUop, ui)
+		m.wnNext = append(m.wnNext, v.waiters)
+		v.waiters = int32(len(m.wnUop) - 1)
+	}
+	u.pending = pending
+	u.readyAt = readyAt
+	return pending
+}
+
+// wake delivers a now-known value to every µop waiting on it: the consumer's
+// readyAt absorbs the value's ready time (plus the bypass delay between the
+// producing and consuming domains for port-bound µops) and its pending count
+// drops. The last input's arrival moves the µop onward: port-bound µops enter
+// the wake-up heap keyed by their final readyAt, rename-handled µops enter
+// the completion queue. The waiter list is consumed exactly once.
+func (m *Machine) wake(vi int32) {
+	v := &m.vals[vi]
+	for wi := v.waiters; wi >= 0; wi = m.wnNext[wi] {
+		ui := m.wnUop[wi]
+		u := &m.uops[ui]
+		t := v.ready
+		if !u.eliminated {
+			t += int32(bypassDelay(v.domain, u.domain))
+		}
+		if t > u.readyAt {
+			u.readyAt = t
+		}
+		if u.pending--; u.pending == 0 {
+			if u.eliminated {
+				m.elimReady = append(m.elimReady, ui)
+			} else {
+				m.pushWake(u.readyAt, ui)
+			}
+		}
+	}
+	v.waiters = -1
+}
+
+// pushWake inserts a (readyAt, µop) pair into the wake-up min-heap. The pair
+// is packed into one uint64 with readyAt in the high bits, so heap order is
+// readyAt first, µop index (program order) second.
+func (m *Machine) pushWake(readyAt, ui int32) {
+	h := append(m.wakeHeap, uint64(uint32(readyAt))<<32|uint64(uint32(ui)))
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] <= h[i] {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	m.wakeHeap = h
+}
+
+// popWake removes the minimum entry of the wake-up heap.
+func (m *Machine) popWake() {
+	h := m.wakeHeap
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		small := l
+		if r := l + 1; r < n && h[r] < h[l] {
+			small = r
+		}
+		if h[i] <= h[small] {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	m.wakeHeap = h
+}
+
+// execute runs the issue/dispatch loop. It is event-driven at both
+// granularities: within a cycle, dispatch walks only the ready queue — µops
+// whose last input arrived (wake-up lists keyed by producing value replace
+// the per-cycle rescan of the whole scheduler window) — and across cycles,
+// spans in which provably nothing can issue, complete or dispatch are skipped
+// in one step to the next wake-up event.
 func (m *Machine) execute() Counters {
 	numPorts := m.arch.NumPorts()
 	c := Counters{PortUops: make([]int, numPorts)}
@@ -734,12 +874,19 @@ func (m *Machine) execute() Counters {
 
 	issueWidth := m.arch.IssueWidth()
 	schedSize := m.cfg.SchedulerSize
+	allPorts := uint16(1)<<uint(numPorts) - 1
 
-	sched := m.sched[:0] // issued, waiting for dispatch
-	elim := m.elim[:0]   // issued, handled at rename, waiting for inputs to be known
-	nextIssue := 0       // next µop (program order) to issue
-	dividerFreeAt := 0   // next cycle the divider can accept a µop
+	nextIssue := 0     // next µop (program order) to issue
+	schedCount := 0    // issued µops still waiting for an execution port
+	elimWaiting := 0   // issued rename-handled µops not yet completed
+	dividerFreeAt := 0 // next cycle the divider can accept a µop
 	finish := 0
+
+	// readyUnion conservatively over-approximates the union of the port
+	// masks in the ready queue: once dispatch has claimed every port in it,
+	// no remaining ready µop can dispatch this cycle and the walk stops. It
+	// is recomputed exactly on every full walk.
+	var readyUnion uint16
 
 	cycle := 0
 	idleCycles := 0
@@ -750,120 +897,187 @@ func (m *Machine) execute() Counters {
 		// µop's entry is reclaimed at the end of its dispatch cycle (see
 		// Config.SchedulerSize).
 		issued := 0
-		for nextIssue < len(m.uops) && issued < issueWidth && len(sched) < schedSize {
+		for nextIssue < len(m.uops) && issued < issueWidth && schedCount < schedSize {
 			ui := int32(nextIssue)
 			nextIssue++
 			issued++
-			if m.uops[ui].eliminated {
+			u := &m.uops[ui]
+			if u.eliminated {
 				c.ElimUops++
-				elim = append(elim, ui)
+				elimWaiting++
+				if m.wireUop(ui, u) == 0 {
+					m.elimReady = append(m.elimReady, ui)
+				}
 				continue
 			}
-			sched = append(sched, ui)
+			schedCount++
+			if m.wireUop(ui, u) == 0 {
+				if u.readyAt <= int32(cycle) {
+					// Ready at issue (the common case for independent
+					// code): skip the heap round-trip, the µop arrives
+					// this very cycle. Issue order is program order, so
+					// these arrivals are pre-sorted.
+					m.arrivals = append(m.arrivals, ui)
+				} else {
+					m.pushWake(u.readyAt, ui)
+				}
+			}
 		}
 
 		// Rename-handled µops complete as soon as their inputs are known;
-		// their outputs are ready when their inputs are (zero latency).
-		if len(elim) > 0 {
-			kept := elim[:0]
-			for _, ui := range elim {
-				u := &m.uops[ui]
-				allKnown := true
-				ready := cycle
-				for ri := u.rdStart; ri < u.rdEnd; ri++ {
-					v := &m.vals[m.readIdx[ri]]
-					if !v.known {
-						allKnown = false
-						break
-					}
-					if int(v.ready) > ready {
-						ready = int(v.ready)
-					}
-				}
-				if !allKnown {
-					kept = append(kept, ui)
-					continue
-				}
-				for wi := u.wrStart; wi < u.wrEnd; wi++ {
-					v := &m.vals[m.writeIdx[wi]]
-					v.ready = int32(ready)
-					v.known = true
-					v.domain = u.domain
-				}
-				if ready > finish {
-					finish = ready
-				}
-				u.dispatched = true
+		// their outputs are ready when their inputs are (zero latency, no
+		// bypass). Completing one may wake further rename-handled µops,
+		// which complete in the same cycle (the queue grows mid-walk),
+		// matching the in-order scan this replaces: a rename-time chain
+		// resolves in one cycle.
+		for ei := 0; ei < len(m.elimReady); ei++ {
+			ui := m.elimReady[ei]
+			u := &m.uops[ui]
+			ready := int32(cycle)
+			if u.readyAt > ready {
+				ready = u.readyAt
 			}
-			elim = kept
+			for wi := u.wrStart; wi < u.wrEnd; wi++ {
+				vi := m.writeIdx[wi]
+				v := &m.vals[vi]
+				v.ready = ready
+				v.known = true
+				v.domain = u.domain
+				if v.waiters >= 0 {
+					m.wake(vi)
+				}
+			}
+			if int(ready) > finish {
+				finish = int(ready)
+			}
+			elimWaiting--
+		}
+		m.elimReady = m.elimReady[:0]
+
+		// Collect the µops whose wake-up time has arrived (joining any
+		// ready-at-issue arrivals from above) and merge them into the ready
+		// queue in program order (the heap yields them in ready-time order,
+		// so a sort is needed before the merge).
+		popped := false
+		for len(m.wakeHeap) > 0 {
+			top := m.wakeHeap[0]
+			if int(top>>32) > cycle {
+				break
+			}
+			m.popWake()
+			m.arrivals = append(m.arrivals, int32(uint32(top)))
+			popped = true
+		}
+		if len(m.arrivals) > 0 {
+			if popped {
+				// Heap pops arrive in ready-time order and may interleave
+				// with this cycle's pre-sorted issue-direct arrivals; only
+				// then is a sort needed.
+				slices.Sort(m.arrivals)
+			}
+			for _, ui := range m.arrivals {
+				readyUnion |= m.uops[ui].portMask
+			}
+			if len(m.readyQ) == 0 {
+				m.readyQ, m.arrivals = m.arrivals, m.readyQ
+			} else {
+				merged := m.readyScratch[:0]
+				i, j := 0, 0
+				for i < len(m.readyQ) && j < len(m.arrivals) {
+					if m.readyQ[i] < m.arrivals[j] {
+						merged = append(merged, m.readyQ[i])
+						i++
+					} else {
+						merged = append(merged, m.arrivals[j])
+						j++
+					}
+				}
+				merged = append(merged, m.readyQ[i:]...)
+				merged = append(merged, m.arrivals[j:]...)
+				m.readyQ, m.readyScratch = merged, m.readyQ[:0]
+			}
+			m.arrivals = m.arrivals[:0]
 		}
 
-		// Dispatch stage: oldest-first, one µop per port per cycle.
+		// Dispatch stage: oldest-first over the ready µops only, one µop per
+		// port per cycle. Identical port claims to the old full-window scan:
+		// the ready queue is in program order and non-ready µops could never
+		// claim a port anyway.
 		var takenMask uint16
 		dispatchedAny := false
-		for _, ui := range sched {
-			u := &m.uops[ui]
-			avail := u.portMask &^ takenMask
-			if avail == 0 {
-				continue
-			}
-			ready := true
-			for ri := u.rdStart; ri < u.rdEnd; ri++ {
-				v := &m.vals[m.readIdx[ri]]
-				if !v.known || int(v.ready)+bypassDelay(v.domain, u.domain) > cycle {
-					ready = false
+		readyDivBlocked := false
+		if len(m.readyQ) > 0 {
+			kept := m.readyQ[:0]
+			var keptUnion uint16
+			fullWalk := true
+			for qi, n := 0, len(m.readyQ); qi < n; qi++ {
+				if readyUnion&^takenMask == 0 {
+					// Every port any ready µop could use is taken: the rest
+					// of the queue carries over to the next cycle as is.
+					kept = append(kept, m.readyQ[qi:n]...)
+					fullWalk = false
+					break
+				}
+				ui := m.readyQ[qi]
+				u := &m.uops[ui]
+				avail := u.portMask &^ takenMask
+				if avail == 0 {
+					kept = append(kept, ui)
+					keptUnion |= u.portMask
+					continue
+				}
+				if u.divider && cycle < dividerFreeAt {
+					kept = append(kept, ui)
+					keptUnion |= u.portMask
+					readyDivBlocked = true
+					continue
+				}
+				p := choosePort(avail, &m.portLoad)
+				takenMask |= 1 << uint(p)
+				m.portLoad[p]++
+				c.PortUops[p]++
+				c.TotalUops++
+				dispatchedAny = true
+				schedCount--
+				if u.divider {
+					occ := int(u.divOcc)
+					if occ < 1 {
+						occ = 1
+					}
+					dividerFreeAt = cycle + occ
+				}
+				// Write latencies were clamped to >= 1 at rename, so dispatch
+				// needs no re-clamp here.
+				for wi := u.wrStart; wi < u.wrEnd; wi++ {
+					vi := m.writeIdx[wi]
+					v := &m.vals[vi]
+					v.ready = int32(cycle) + m.writeLat[wi]
+					v.known = true
+					v.domain = u.domain
+					if int(v.ready) > finish {
+						finish = int(v.ready)
+					}
+					if v.waiters >= 0 {
+						m.wake(vi)
+					}
+				}
+				if u.wrStart == u.wrEnd && cycle+1 > finish {
+					finish = cycle + 1
+				}
+				if takenMask == allPorts {
+					kept = append(kept, m.readyQ[qi+1:n]...)
+					fullWalk = false
 					break
 				}
 			}
-			if !ready {
-				continue
+			m.readyQ = kept
+			if fullWalk {
+				readyUnion = keptUnion
 			}
-			if u.divider && cycle < dividerFreeAt {
-				continue
-			}
-			p := choosePort(avail, &m.portLoad)
-			takenMask |= 1 << uint(p)
-			m.portLoad[p]++
-			c.PortUops[p]++
-			c.TotalUops++
-			u.dispatched = true
-			dispatchedAny = true
-			if u.divider {
-				occ := int(u.divOcc)
-				if occ < 1 {
-					occ = 1
-				}
-				dividerFreeAt = cycle + occ
-			}
-			// Write latencies were clamped to >= 1 at rename, so dispatch
-			// needs no re-clamp here.
-			for wi := u.wrStart; wi < u.wrEnd; wi++ {
-				v := &m.vals[m.writeIdx[wi]]
-				v.ready = int32(cycle) + m.writeLat[wi]
-				v.known = true
-				v.domain = u.domain
-				if int(v.ready) > finish {
-					finish = int(v.ready)
-				}
-			}
-			if u.wrStart == u.wrEnd && cycle+1 > finish {
-				finish = cycle + 1
-			}
-		}
-		// Compact dispatched µops out of the scheduler, freeing their window
-		// entries for the next cycle's issue group.
-		if len(sched) > 0 {
-			kept := sched[:0]
-			for _, ui := range sched {
-				if !m.uops[ui].dispatched {
-					kept = append(kept, ui)
-				}
-			}
-			sched = kept
 		}
 
 		cycle++
-		if nextIssue >= len(m.uops) && len(sched) == 0 && len(elim) == 0 {
+		if nextIssue >= len(m.uops) && schedCount == 0 && elimWaiting == 0 {
 			break
 		}
 		if issued == 0 && !dispatchedAny {
@@ -879,10 +1093,27 @@ func (m *Machine) execute() Counters {
 			// Event-driven fast-forward: an idle cycle changes nothing —
 			// issue stays blocked (the scheduler did not drain), pending
 			// eliminated µops keep waiting for a dispatch, and no value
-			// becomes known. Jump directly to the earliest cycle at which a
-			// waiting µop can dispatch, charging the skipped cycles against
-			// the same deadlock budget the one-by-one walk would have used.
-			if skip := m.nextEventSkip(cycle, sched, dividerFreeAt); skip > 0 {
+			// becomes known. The next possible event falls out of the
+			// wake-up structures: the heap's earliest entry, or the divider
+			// becoming free when a ready divider µop is blocked on it. µops
+			// still pending need another dispatch first, so they cannot
+			// precede that event; ready µops whose ports are unclaimable
+			// (an empty port mask on this generation) never produce one.
+			// The skipped cycles are charged against the same deadlock
+			// budget the one-by-one walk would have used; when no event can
+			// ever occur, the huge skip runs the budget out, as before.
+			next := -1
+			if len(m.wakeHeap) > 0 {
+				next = int(m.wakeHeap[0] >> 32)
+			}
+			if readyDivBlocked && (next < 0 || dividerFreeAt < next) {
+				next = dividerFreeAt
+			}
+			skip := 1 << 30
+			if next >= 0 {
+				skip = next - cycle
+			}
+			if skip > 0 {
 				if maxIdle := 10001 - idleCycles; skip > maxIdle {
 					skip = maxIdle // the guard fires mid-wait, as before
 				}
@@ -901,58 +1132,18 @@ func (m *Machine) execute() Counters {
 			idleCycles = 0
 		}
 	}
-	m.sched, m.elim = sched[:0], elim[:0] // return capacity to the Machine
+	// Return queue capacity to the Machine (a deadlocked run may leave
+	// entries behind; Reset truncates them either way).
+	m.readyQ = m.readyQ[:0]
+	m.arrivals = m.arrivals[:0]
+	m.wakeHeap = m.wakeHeap[:0]
+	m.elimReady = m.elimReady[:0]
 
 	if finish < cycle {
 		finish = cycle
 	}
 	c.Cycles = finish
 	return c
-}
-
-// nextEventSkip returns how many cycles can elapse before any waiting µop
-// could possibly dispatch: the distance from cycle to the earliest
-// input-ready time (including bypass delays and divider occupancy) over all
-// scheduler entries whose inputs are all known. µops with unknown inputs
-// need another dispatch first, so they cannot precede that event. A huge
-// value is returned when no event can ever occur (a deadlock); the caller's
-// guard budget then bounds the jump exactly like the one-by-one walk.
-func (m *Machine) nextEventSkip(cycle int, sched []int32, dividerFreeAt int) int {
-	next := -1
-	for _, ui := range sched {
-		u := &m.uops[ui]
-		if u.portMask == 0 {
-			continue // no valid port on this generation: can never dispatch
-		}
-		t := cycle
-		known := true
-		for ri := u.rdStart; ri < u.rdEnd; ri++ {
-			v := &m.vals[m.readIdx[ri]]
-			if !v.known {
-				known = false
-				break
-			}
-			if rt := int(v.ready) + bypassDelay(v.domain, u.domain); rt > t {
-				t = rt
-			}
-		}
-		if !known {
-			continue
-		}
-		if u.divider && t < dividerFreeAt {
-			t = dividerFreeAt
-		}
-		if t <= cycle {
-			return 0
-		}
-		if next < 0 || t < next {
-			next = t
-		}
-	}
-	if next < 0 {
-		return 1 << 30
-	}
-	return next - cycle
 }
 
 // portMaskFor converts a µop's allowed-port list into a bitmask, dropping

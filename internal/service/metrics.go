@@ -52,6 +52,14 @@ func (s *Service) metrics() []metric {
 			help: "Instruction variants actually measured.", value: float64(es.VariantsMeasured)},
 		{name: "uopsd_engine_store_save_errors_total", typ: "counter",
 			help: "Failed persistent-store writes.", value: float64(es.SaveErrors)},
+		{name: "uopsd_engine_pool_forked_total", typ: "counter",
+			help: "Worker stacks built fresh by the fork pools.", value: float64(es.PoolForked)},
+		{name: "uopsd_engine_pool_reused_total", typ: "counter",
+			help: "Worker stacks reused warm from the fork pools.", value: float64(es.PoolReused)},
+		{name: "uopsd_engine_pool_seq_built_total", typ: "counter",
+			help: "Measurement repeat sequences materialized by pooled harnesses.", value: float64(es.PoolSeqBuilt)},
+		{name: "uopsd_engine_pool_seq_reused_total", typ: "counter",
+			help: "Measurement repeat sequences reused from pooled harness buffers.", value: float64(es.PoolSeqReused)},
 	}
 	counts := s.jobs.counts()
 	states := make([]string, 0, len(counts))
