@@ -15,7 +15,8 @@ BENCH_LABEL ?= current
 BENCH_GUARD_PCT ?= 30
 
 .PHONY: build test vet race bench bench-smoke bench-json bench-json-smoke \
-	bench-compare bench-guard fmt fmt-check ci ci-cmd ci-service run-uopsd
+	bench-compare bench-guard fmt fmt-check ci ci-cmd ci-service ci-fleet \
+	run-uopsd
 
 build:
 	$(GO) build ./...
@@ -128,9 +129,23 @@ ci-service:
 	$(GO) test -race -count=1 ./internal/service
 	$(GO) test -race -count=1 -run 'TestUopsd' ./cmd/uopsd
 
+# ci-fleet gates the distributed measurement fleet under the race detector:
+# the remote backend's unit suite (wire roundtrip, handshake, dedup,
+# retry/hedge/timeout machinery against canned workers), the loopback
+# end-to-end tests — XML byte-identical to a local run through 1/2/3 real
+# workers, recovery from a worker killed mid-run, a mixed-fingerprint fleet
+# refused at startup, fleet counters in /v1/stats and /metrics — and the
+# -fleet flag through the uopsinfo CLI and a uopsd front tier.
+ci-fleet:
+	$(GO) test -race -count=1 ./internal/measure/remote
+	$(GO) test -race -count=1 -run 'TestFleet|TestMeasureEndpoint' ./internal/service
+	$(GO) test -race -count=1 -run 'TestFleetFlagMatchesLocal' ./cmd/uopsinfo
+	$(GO) test -race -count=1 -run 'TestUopsdFleetFrontTier' ./cmd/uopsd
+
 # ci is the gate for every change: formatting and static checks, the full
 # test suite under the race detector (the characterization scheduler, the
 # engine and the service are concurrent), a one-iteration pass over every
 # benchmark, the benchmark-trajectory pipeline smoke, the hot-path ns/op
-# regression gate, and the command-level cache/backend/service checks.
-ci: fmt-check vet race bench-smoke bench-json-smoke bench-guard ci-cmd ci-service
+# regression gate, the command-level cache/backend/service checks, and the
+# distributed-fleet suite.
+ci: fmt-check vet race bench-smoke bench-json-smoke bench-guard ci-cmd ci-service ci-fleet

@@ -11,6 +11,7 @@ package benchmarks
 
 import (
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -20,7 +21,10 @@ import (
 
 	"uopsinfo/internal/core"
 	"uopsinfo/internal/engine"
+	"uopsinfo/internal/measure"
+	"uopsinfo/internal/measure/remote"
 	"uopsinfo/internal/report"
+	"uopsinfo/internal/service"
 	"uopsinfo/internal/uarch"
 )
 
@@ -334,6 +338,75 @@ func BenchmarkCharacterizeCache(b *testing.B) {
 			run(b, dir)
 		}
 	})
+}
+
+// E15: the distributed measurement fleet — the E12 sampled Skylake variant
+// set characterized on the local simulator vs through a two-worker loopback
+// fleet (in-process uopsd services measuring on their own simulators).
+// Loopback workers add no compute the local run doesn't have, so the delta
+// between the sub-benchmarks is exactly the fleet overhead: sequence
+// encoding, HTTP dispatch, batching and result decoding. Blocking discovery
+// is hoisted out of the timed region like in E12.
+func BenchmarkCharacterizeRemote(b *testing.B) {
+	arch := uarch.Get(uarch.Skylake)
+	instrs := arch.InstrSet().Instrs()
+	var only []string
+	for i := 0; i < len(instrs); i += 30 {
+		only = append(only, instrs[i].Name)
+	}
+	bench := func(proto *core.Characterizer) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := proto.CharacterizeAll(core.Options{Only: only, Workers: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Results) != len(only) {
+					b.Fatalf("got %d results, want %d", len(res.Results), len(only))
+				}
+			}
+			b.ReportMetric(float64(len(only)), "variants")
+		}
+	}
+
+	local := core.NewForArch(arch)
+	if _, err := local.Blocking(); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("local", bench(local))
+
+	urls := make([]string, 2)
+	for i := range urls {
+		eng, err := engine.New(engine.Config{Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		svc, err := service.New(service.Config{Engine: eng})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := httptest.NewServer(svc)
+		defer srv.Close()
+		urls[i] = srv.URL
+	}
+	if err := remote.Configure(remote.Options{Workers: urls}); err != nil {
+		b.Fatal(err)
+	}
+	defer remote.Shutdown()
+	backend, ok := measure.Lookup(remote.BackendName)
+	if !ok {
+		b.Fatal("remote backend not registered")
+	}
+	runner, err := backend.NewRunner(uarch.Skylake)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fleet := core.New(measure.New(runner))
+	if _, err := fleet.Blocking(); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("fleet-2", bench(fleet))
 }
 
 // E11: Section 7.1 — a (sampled) full characterization run on Skylake,

@@ -30,6 +30,7 @@ import (
 	"uopsinfo/internal/asmgen"
 	"uopsinfo/internal/engine"
 	"uopsinfo/internal/iaca"
+	"uopsinfo/internal/measure/remote"
 	"uopsinfo/internal/uarch"
 )
 
@@ -41,7 +42,13 @@ func main() {
 	jobs := flag.Int("j", runtime.NumCPU(), "total number of parallel workers")
 	cacheDir := flag.String("cache", "", "directory of the persistent result store")
 	backend := flag.String("backend", "", "measurement backend to run on (default: pipesim)")
+	fleet := flag.String("fleet", "", "comma-separated uopsd worker URLs to measure on (selects -backend remote; default: $"+remote.EnvFleet+")")
 	flag.Parse()
+
+	resolvedBackend, err := remote.Setup(*fleet, *backend)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	arch, err := uarch.ByName(*archName)
 	if err != nil {
@@ -73,7 +80,7 @@ func main() {
 			uarch.FormatPortUsage(perf.PortUsage()))
 	}
 
-	eng, err := engine.New(engine.Config{Workers: *jobs, CacheDir: *cacheDir, Backend: *backend})
+	eng, err := engine.New(engine.Config{Workers: *jobs, CacheDir: *cacheDir, Backend: resolvedBackend})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -23,6 +23,7 @@ import (
 	"runtime"
 
 	"uopsinfo/internal/engine"
+	"uopsinfo/internal/measure/remote"
 	"uopsinfo/internal/report"
 )
 
@@ -34,9 +35,14 @@ func main() {
 	jobs := flag.Int("j", runtime.NumCPU(), "total number of parallel workers (1 = fully sequential)")
 	cacheDir := flag.String("cache", "", "directory of the persistent result store")
 	backend := flag.String("backend", "", "measurement backend to run on (default: pipesim)")
+	fleet := flag.String("fleet", "", "comma-separated uopsd worker URLs to measure on (selects -backend remote; default: $"+remote.EnvFleet+")")
 	flag.Parse()
 
-	eng, err := engine.New(engine.Config{Workers: *jobs, CacheDir: *cacheDir, Backend: *backend})
+	resolvedBackend, err := remote.Setup(*fleet, *backend)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := engine.New(engine.Config{Workers: *jobs, CacheDir: *cacheDir, Backend: resolvedBackend})
 	if err != nil {
 		log.Fatal(err)
 	}

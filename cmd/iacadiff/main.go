@@ -21,6 +21,7 @@ import (
 
 	"uopsinfo/internal/engine"
 	"uopsinfo/internal/iaca"
+	"uopsinfo/internal/measure/remote"
 	"uopsinfo/internal/report"
 	"uopsinfo/internal/uarch"
 )
@@ -34,7 +35,13 @@ func main() {
 	jobs := flag.Int("j", runtime.NumCPU(), "total number of parallel workers (1 = fully sequential)")
 	cacheDir := flag.String("cache", "", "directory of the persistent result store")
 	backend := flag.String("backend", "", "measurement backend to run on (default: pipesim)")
+	fleet := flag.String("fleet", "", "comma-separated uopsd worker URLs to measure on (selects -backend remote; default: $"+remote.EnvFleet+")")
 	flag.Parse()
+
+	resolvedBackend, err := remote.Setup(*fleet, *backend)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	arch, err := uarch.ByName(*archName)
 	if err != nil {
@@ -46,7 +53,7 @@ func main() {
 	}
 	fmt.Printf("IACA versions supporting %s: %s\n\n", arch.Name(), iaca.DescribeVersions(arch.Gen()))
 
-	eng, err := engine.New(engine.Config{Workers: *jobs, CacheDir: *cacheDir, Backend: *backend})
+	eng, err := engine.New(engine.Config{Workers: *jobs, CacheDir: *cacheDir, Backend: resolvedBackend})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,13 +5,15 @@
 // Usage:
 //
 //	uopsd [-addr localhost:8631] [-j 8] [-cache DIR] [-backend pipesim]
-//	      [-rate N -burst M] [-job-ttl 15m] [-drain 10s] [-v]
+//	      [-fleet URL,URL] [-rate N -burst M] [-job-ttl 15m] [-drain 10s]
+//	      [-header-timeout 10s] [-idle-timeout 2m] [-v]
 //
 // Endpoints:
 //
 //	GET  /healthz                       liveness probe
 //	GET  /metrics                       Prometheus-style counter exposition
-//	GET  /v1/backends                   the measurement-backend registry
+//	GET  /v1/backends                   the measurement-backend registry + serving identity
+//	POST /v1/measure                    batch sequence measurement (fleet-worker endpoint)
 //	GET  /v1/stats                      engine + coalescing + request counters
 //	GET  /v1/arch/{gen}                 full characterization (?only=..., ?quick=1, ?format=xml)
 //	GET  /v1/arch/{gen}/variant/{name}  a single instruction variant
@@ -48,6 +50,7 @@ import (
 
 	"uopsinfo/internal/engine"
 	"uopsinfo/internal/measure"
+	"uopsinfo/internal/measure/remote"
 	"uopsinfo/internal/service"
 )
 
@@ -78,6 +81,9 @@ func run(ctx context.Context, args []string, stdout io.Writer, logger *log.Logge
 	jobs := fs.Int("j", runtime.NumCPU(), "total number of parallel measurement workers")
 	cacheDir := fs.String("cache", "", "directory of the persistent result store (results survive restarts and are shared with the CLI tools)")
 	backendName := fs.String("backend", "", `measurement backend to serve from (default: "`+measure.DefaultBackend+`")`)
+	fleet := fs.String("fleet", "", "comma-separated uopsd worker URLs to measure on (selects -backend remote; default: $"+remote.EnvFleet+")")
+	headerTimeout := fs.Duration("header-timeout", 10*time.Second, "deadline for reading a request's headers")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "how long an idle keep-alive connection is kept open")
 	rate := fs.Float64("rate", 0, "rate limit in requests per second across all endpoints except /healthz and /metrics (0 disables limiting)")
 	burst := fs.Int("burst", 0, "rate-limiter burst depth (default: ceil of -rate)")
 	jobTTL := fs.Duration("job-ttl", service.DefaultJobTTL, "how long finished async jobs stay listed and fetchable")
@@ -90,13 +96,18 @@ func run(ctx context.Context, args []string, stdout io.Writer, logger *log.Logge
 		return fmt.Errorf("%w: %v", errUsage, err)
 	}
 
+	resolvedBackend, err := remote.Setup(*fleet, *backendName)
+	if err != nil {
+		return err
+	}
+
 	// baseCtx is the lifetime of the engine's measurement runs and the async
 	// jobs: cancelled only after the HTTP side has drained, so that shutdown
 	// actually quiesces runs that no request is waiting on anymore.
 	baseCtx, baseCancel := context.WithCancel(context.Background())
 	defer baseCancel()
 
-	ecfg := engine.Config{Workers: *jobs, CacheDir: *cacheDir, Backend: *backendName, BaseContext: baseCtx}
+	ecfg := engine.Config{Workers: *jobs, CacheDir: *cacheDir, Backend: resolvedBackend, BaseContext: baseCtx}
 	if *verbose {
 		ecfg.Log = logger.Printf
 	}
@@ -133,8 +144,8 @@ func run(ctx context.Context, args []string, stdout io.Writer, logger *log.Logge
 	// descriptors forever.
 	srv := &http.Server{
 		Handler:           svc,
-		ReadHeaderTimeout: 10 * time.Second,
-		IdleTimeout:       2 * time.Minute,
+		ReadHeaderTimeout: *headerTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 	served := make(chan error, 1)
 	go func() { served <- srv.Serve(ln) }()

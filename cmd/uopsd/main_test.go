@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"uopsinfo/internal/measure/remote"
 	"uopsinfo/internal/service"
 )
 
@@ -359,5 +360,55 @@ func TestUopsdFlagErrors(t *testing.T) {
 	err := run(context.Background(), []string{"-backend", "warpdrive"}, &stdout, logger, nil)
 	if err == nil || !strings.Contains(err.Error(), "warpdrive") {
 		t.Errorf("run with unknown backend: %v", err)
+	}
+}
+
+// TestUopsdFleetFrontTier runs the two-tier deployment end to end: two
+// worker uopsd instances on the default backend, one front uopsd with
+// -fleet pointing at both. The front tier's XML must be byte-identical to a
+// worker's own rendering of the same query, its /v1/backends must identify
+// the remote serving backend, and its /v1/stats must carry fleet counters.
+func TestUopsdFleetFrontTier(t *testing.T) {
+	w1, stop1 := startServer(t)
+	defer stop1()
+	w2, stop2 := startServer(t)
+	defer stop2()
+	defer remote.Shutdown()
+	front, stopFront := startServer(t, "-fleet", w1+","+w2)
+	defer stopFront()
+
+	const query = "/v1/arch/skylake?only=ADD_R64_R64,IMUL_R64_R64,DIV_R64&format=xml"
+	code, want := getBody(t, w1+query)
+	if code != http.StatusOK {
+		t.Fatalf("worker GET %s = %d: %s", query, code, want)
+	}
+	code, got := getBody(t, front+query)
+	if code != http.StatusOK {
+		t.Fatalf("front GET %s = %d: %s", query, code, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("front-tier XML differs from worker XML (%d vs %d bytes)", len(got), len(want))
+	}
+
+	code, body := getBody(t, front+"/v1/backends")
+	if code != http.StatusOK {
+		t.Fatalf("front GET /v1/backends = %d", code)
+	}
+	var backends struct {
+		Serving service.ServingInfo `json:"serving"`
+	}
+	if err := json.Unmarshal(body, &backends); err != nil {
+		t.Fatal(err)
+	}
+	if backends.Serving.Name != "remote" || !strings.Contains(backends.Serving.Fingerprint, "fleet(") {
+		t.Errorf("front serving identity = %+v, want the remote backend", backends.Serving)
+	}
+
+	code, body = getBody(t, front+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("front GET /v1/stats = %d", code)
+	}
+	if !strings.Contains(string(body), `"fleet"`) {
+		t.Errorf("front /v1/stats lacks fleet counters:\n%s", body)
 	}
 }

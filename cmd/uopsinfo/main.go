@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	uopsinfo [-arch "Skylake"] [-out results.xml] [-sample 20] [-only ADD_R64_R64,IMUL_R64_R64] [-quick] [-j 8] [-cache DIR] [-backend pipesim] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	uopsinfo [-arch "Skylake"] [-out results.xml] [-sample 20] [-only ADD_R64_R64,IMUL_R64_R64] [-quick] [-j 8] [-cache DIR] [-backend pipesim] [-fleet URL,URL] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The -j flag sets the total number of parallel workers (default: the number
 // of CPUs). Architectures are characterized concurrently and, within each
@@ -40,6 +40,7 @@ import (
 	"uopsinfo/internal/engine"
 	"uopsinfo/internal/iaca"
 	"uopsinfo/internal/measure"
+	"uopsinfo/internal/measure/remote"
 	"uopsinfo/internal/uarch"
 	"uopsinfo/internal/xmlout"
 )
@@ -70,6 +71,7 @@ type config struct {
 	jobs     int
 	cache    string
 	backend  string
+	fleet    string
 	backends bool
 	cpuprof  string
 	memprof  string
@@ -90,6 +92,7 @@ func run(args []string, stdout io.Writer, logger *log.Logger) error {
 	fs.IntVar(&cfg.jobs, "j", runtime.NumCPU(), "total number of parallel workers (1 = fully sequential)")
 	fs.StringVar(&cfg.cache, "cache", "", "directory of the persistent result store (blocking sets, results and per-variant records are reused across runs)")
 	fs.StringVar(&cfg.backend, "backend", "", `measurement backend to run on (default: "`+measure.DefaultBackend+`"; see -backends)`)
+	fs.StringVar(&cfg.fleet, "fleet", "", "comma-separated uopsd worker URLs to measure on (selects -backend remote; default: $"+remote.EnvFleet+")")
 	fs.BoolVar(&cfg.backends, "backends", false, "list the registered measurement backends and exit")
 	fs.StringVar(&cfg.cpuprof, "cpuprofile", "", "write a CPU profile of the characterization to this file")
 	fs.StringVar(&cfg.memprof, "memprofile", "", "write a heap profile (after characterization) to this file")
@@ -121,7 +124,11 @@ func run(args []string, stdout io.Writer, logger *log.Logger) error {
 		archs = []*uarch.Arch{a}
 	}
 
-	ecfg := engine.Config{Workers: cfg.jobs, CacheDir: cfg.cache, Backend: cfg.backend}
+	resolvedBackend, err := remote.Setup(cfg.fleet, cfg.backend)
+	if err != nil {
+		return err
+	}
+	ecfg := engine.Config{Workers: cfg.jobs, CacheDir: cfg.cache, Backend: resolvedBackend}
 	if cfg.verbose {
 		ecfg.BlockingProgress = func(gen uarch.Generation, done, total int, name string) {
 			if done%50 == 0 || done == total {

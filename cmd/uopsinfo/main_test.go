@@ -5,12 +5,16 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
 
+	"uopsinfo/internal/engine"
+	"uopsinfo/internal/measure/remote"
+	"uopsinfo/internal/service"
 	"uopsinfo/internal/xmlout"
 )
 
@@ -210,5 +214,45 @@ func TestExplicitBackendFlagMatchesDefault(t *testing.T) {
 	explicit := runPipeline(t, "-arch", "Skylake", "-only", only, "-j", "2", "-backend", "pipesim")
 	if !bytes.Equal(base, explicit) {
 		t.Error("-backend pipesim output differs from the default backend")
+	}
+}
+
+// TestFleetFlagMatchesLocal drives the CLI through a loopback measurement
+// fleet: -fleet pointing at two in-process uopsd workers must produce XML
+// byte-identical to a local run. The variant set includes a divider-based
+// instruction (DIV_R64), whose operand-value regime must travel with every
+// sequence over the wire, and memory variants, whose virtual addresses must
+// survive the encoding.
+func TestFleetFlagMatchesLocal(t *testing.T) {
+	only := "ADD_R64_R64,IMUL_R64_R64,DIV_R64,MOV_R64_M64,MOV_M64_R64,SHLD_R64_R64_I8"
+	local := runPipeline(t, "-arch", "Skylake", "-only", only, "-j", "2")
+
+	urls := make([]string, 2)
+	for i := range urls {
+		eng, err := engine.New(engine.Config{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc, err := service.New(service.Config{Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(svc)
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	t.Cleanup(remote.Shutdown)
+	fleet := runPipeline(t, "-arch", "Skylake", "-only", only, "-j", "2",
+		"-fleet", strings.Join(urls, ","))
+	if !bytes.Equal(local, fleet) {
+		t.Errorf("-fleet output differs from the local run (%d vs %d bytes)", len(fleet), len(local))
+	}
+
+	// Naming a fleet while forcing a different backend is a configuration
+	// error, not a silent override.
+	err := run([]string{"-fleet", urls[0], "-backend", "pipesim", "-only", "ADD_R64_R64"},
+		io.Discard, log.New(io.Discard, "", 0))
+	if err == nil || !strings.Contains(err.Error(), "contradicts") {
+		t.Errorf("-fleet with -backend pipesim: %v", err)
 	}
 }

@@ -102,11 +102,16 @@ type Stats struct {
 	// arenas, memoized perf descriptions and repeat buffers intact).
 	// PoolSeqBuilt and PoolSeqReused count, inside those pooled harnesses,
 	// how often Measure materialized its n-copy repeat sequences versus
-	// reusing the ones already buffered. Aggregated across generations.
+	// reusing the ones already buffered. Aggregated across generations,
+	// including the raw-sequence pools behind SequencePool.
 	PoolForked    int64 `json:"poolForked"`
 	PoolReused    int64 `json:"poolReused"`
 	PoolSeqBuilt  int64 `json:"poolSeqBuilt"`
 	PoolSeqReused int64 `json:"poolSeqReused"`
+	// Fleet carries the measurement-fleet counters (batches, retries,
+	// hedges, per-worker health and latency) when the engine's backend
+	// drives one (the "remote" backend); nil otherwise.
+	Fleet *measure.FleetStats `json:"fleet,omitempty"`
 }
 
 // Engine builds and caches one characterization stack per generation.
@@ -116,8 +121,9 @@ type Engine struct {
 	backend measure.Backend
 	st      *store.Store
 
-	mu    sync.Mutex
-	chars map[uarch.Generation]*charEntry
+	mu       sync.Mutex
+	chars    map[uarch.Generation]*charEntry
+	seqPools map[uarch.Generation]*seqPoolEntry
 
 	// flightMu guards flights, the singleflight table of in-progress
 	// CharacterizeArch runs keyed by the run's store digest: concurrent
@@ -245,11 +251,21 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("engine: unknown measurement backend %q (registered backends: %s)",
 			name, strings.Join(measure.Names(), ", "))
 	}
+	// A backend needing runtime configuration (the remote backend's fleet
+	// URLs) must be ready now: its Version goes into every cache key, so
+	// building on an unconfigured backend would mint keys from a
+	// placeholder fingerprint.
+	if rc, ok := backend.(measure.ReadyChecker); ok {
+		if err := rc.Ready(); err != nil {
+			return nil, fmt.Errorf("engine: backend %s: %w", name, err)
+		}
+	}
 	e := &Engine{
 		cfg:       cfg,
 		mcfg:      mcfg,
 		backend:   backend,
 		chars:     make(map[uarch.Generation]*charEntry),
+		seqPools:  make(map[uarch.Generation]*seqPoolEntry),
 		flights:   make(map[store.Digest]*flight),
 		blockProg: make(map[uarch.Generation][2]int),
 	}
@@ -286,6 +302,11 @@ func (e *Engine) Workers() int {
 
 // Backend returns the measurement backend the engine builds runners from.
 func (e *Engine) Backend() measure.Backend { return e.backend }
+
+// MeasureConfig returns the measurement-protocol configuration every harness
+// the engine builds runs under (part of the cache key and of the service's
+// fleet-handshake identity).
+func (e *Engine) MeasureConfig() measure.Config { return e.mcfg }
 
 // baseCtx is the lifetime context of the engine's measurement runs.
 func (e *Engine) baseCtx() context.Context {
@@ -396,6 +417,10 @@ func (e *Engine) Stats() Stats {
 	for _, ent := range e.chars {
 		entries = append(entries, ent)
 	}
+	seqEntries := make([]*seqPoolEntry, 0, len(e.seqPools))
+	for _, ent := range e.seqPools {
+		seqEntries = append(seqEntries, ent)
+	}
 	e.mu.Unlock()
 	var pool measure.PoolStats
 	for _, ent := range entries {
@@ -403,11 +428,56 @@ func (e *Engine) Stats() Stats {
 			pool = pool.Add(ent.c.PoolStats())
 		}
 	}
+	for _, ent := range seqEntries {
+		if ent.built.Load() && ent.pool != nil {
+			pool = pool.Add(ent.pool.Stats())
+		}
+	}
 	s.PoolForked += pool.Forked
 	s.PoolReused += pool.Reused
 	s.PoolSeqBuilt += pool.SeqBuilt
 	s.PoolSeqReused += pool.SeqReused
+	if fr, ok := e.backend.(measure.FleetReporter); ok {
+		if fs, ok := fr.FleetStats(); ok {
+			s.Fleet = &fs
+		}
+	}
 	return s
+}
+
+// seqPoolEntry builds one generation's raw-sequence measurement pool exactly
+// once, mirroring charEntry.
+type seqPoolEntry struct {
+	once  sync.Once
+	pool  *measure.Pool
+	err   error
+	built atomic.Bool
+}
+
+// SequencePool returns the (lazily built, cached) pool of measurement stacks
+// for raw sequence execution on a generation — the substrate of the
+// service's batch measurement endpoint. The pooled harnesses are separate
+// from the characterizer's worker stacks: endpoint traffic must not steal
+// warm stacks from (or leak divider-regime state into) characterization
+// runs. Pool counters fold into Stats alongside the characterizer pools.
+func (e *Engine) SequencePool(gen uarch.Generation) (*measure.Pool, error) {
+	e.mu.Lock()
+	ent, ok := e.seqPools[gen]
+	if !ok {
+		ent = &seqPoolEntry{}
+		e.seqPools[gen] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		h, err := e.Harness(gen)
+		if err != nil {
+			ent.err = err
+		} else {
+			ent.pool = measure.NewPool(h)
+		}
+		ent.built.Store(true)
+	})
+	return ent.pool, ent.err
 }
 
 func (e *Engine) count(f func(*Stats)) {

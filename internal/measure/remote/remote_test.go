@@ -1,0 +1,501 @@
+package remote
+
+// Unit tests of the fleet backend against fake workers: canned HTTP servers
+// speaking the worker protocol with fabricated counters. The end-to-end
+// loopback tests — real uopsd workers, byte-identical characterization
+// output — live in internal/service (this package cannot import service
+// without a cycle).
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"uopsinfo/internal/asmgen"
+	"uopsinfo/internal/isa"
+	"uopsinfo/internal/measure"
+	"uopsinfo/internal/pipesim"
+	"uopsinfo/internal/uarch"
+	"uopsinfo/internal/xedspec"
+)
+
+func variant(t *testing.T, set *isa.Set, name string) *isa.Instr {
+	t.Helper()
+	in := set.Lookup(name)
+	if in == nil {
+		t.Fatalf("variant %s not found", name)
+	}
+	return in
+}
+
+func TestSplitList(t *testing.T) {
+	got := SplitList(" http://a:1/, ,http://b:2 ,")
+	want := []string{"http://a:1", "http://b:2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SplitList = %v, want %v", got, want)
+	}
+	if SplitList("") != nil {
+		t.Errorf("SplitList(\"\") = %v, want nil", SplitList(""))
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	set := xedspec.MustFullISA()
+	add, err := asmgen.NewInst(variant(t, set, "ADD_R64_R64"),
+		asmgen.RegOperand(isa.RAX), asmgen.RegOperand(isa.RBX))
+	if err != nil {
+		t.Fatal(err)
+	}
+	load, err := asmgen.NewInst(variant(t, set, "MOV_R64_M64"),
+		asmgen.RegOperand(isa.RCX), asmgen.MemOperand(isa.RSI, 0x2040))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shld, err := asmgen.NewInst(variant(t, set, "SHLD_R64_R64_I8"),
+		asmgen.RegOperand(isa.RCX), asmgen.RegOperand(isa.RDX), asmgen.ImmOperand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := asmgen.Sequence{add, load, shld}.Repeat(4)
+
+	ws := EncodeSeq(code, pipesim.DividerValues(1))
+	if len(ws.Instrs) != 3 {
+		t.Fatalf("encoded %d distinct instructions, want 3 (repeat copies must share)", len(ws.Instrs))
+	}
+	if len(ws.Order) != len(code) {
+		t.Fatalf("order length %d, want %d", len(ws.Order), len(code))
+	}
+
+	// Through the wire: marshal, unmarshal, decode.
+	raw, err := json.Marshal(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Seq
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Div != 1 {
+		t.Errorf("divider regime %d did not survive the roundtrip", back.Div)
+	}
+	dec, err := DecodeSeq(set, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.String() != code.String() {
+		t.Errorf("decoded sequence\n%s\nwant\n%s", dec.String(), code.String())
+	}
+	// The worker-side repeat copies must share instruction instances like the
+	// client's (the simulator keys memory dependencies on operand identity).
+	if dec[0] != dec[3] || dec[1] != dec[4] {
+		t.Error("decoded repeat copies do not share instruction instances")
+	}
+	// Memory operand address must be preserved exactly.
+	if m := dec[1].Ops[1].Mem; m == nil || m.Addr != 0x2040 || m.Base != isa.RSI {
+		t.Errorf("memory operand decoded as %+v", dec[1].Ops[1])
+	}
+
+	// An identity-order short sequence elides Order.
+	if ws := EncodeSeq(asmgen.Sequence{add, load}, 0); ws.Order != nil {
+		t.Errorf("identity order not elided: %v", ws.Order)
+	}
+}
+
+func TestDecodeSeqRejectsBadInput(t *testing.T) {
+	set := xedspec.MustFullISA()
+	cases := []Seq{
+		{Instrs: []Inst{{Name: "NO_SUCH_VARIANT"}}},
+		{Instrs: []Inst{{Name: "ADD_R64_R64", Ops: []Op{{Reg: "RAX"}, {Reg: "BOGUS"}}}}},
+		{Instrs: []Inst{{Name: "ADD_R64_R64", Ops: []Op{{Reg: "RAX"}}}}},
+		{Instrs: []Inst{{Name: "ADD_R64_R64", Ops: []Op{{Reg: "RAX"}, {Reg: "RBX"}}}}, Order: []int{1}},
+	}
+	for i, ws := range cases {
+		if _, err := DecodeSeq(set, ws); err == nil {
+			t.Errorf("case %d: DecodeSeq accepted invalid input %+v", i, ws)
+		}
+	}
+}
+
+// fakeWorker is a canned HTTP server speaking the worker protocol. Measurement
+// responses carry fabricated counters (Cycles = distinct instructions,
+// TotalUops = total order length) so tests can verify delivery.
+type fakeWorker struct {
+	t           *testing.T
+	srv         *httptest.Server
+	fingerprint string // serving fingerprint, name@version form
+	digest      string
+	measures    atomic.Int64
+	// intercept, if non-nil, may hijack a measurement request (by 1-based
+	// arrival number); returning true means the response was written.
+	intercept func(n int64, w http.ResponseWriter) bool
+}
+
+func newFakeWorker(t *testing.T, fingerprint, digest string) *fakeWorker {
+	t.Helper()
+	fw := &fakeWorker{t: t, fingerprint: fingerprint, digest: digest}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("GET /v1/backends", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"serving":{"name":"pipesim","version":"1","fingerprint":%q,"measureDigest":%q}}`,
+			fw.fingerprint, fw.digest)
+	})
+	mux.HandleFunc("POST /v1/measure", func(w http.ResponseWriter, r *http.Request) {
+		n := fw.measures.Add(1)
+		if fw.intercept != nil && fw.intercept(n, w) {
+			return
+		}
+		fw.answer(w, r)
+	})
+	fw.srv = httptest.NewServer(mux)
+	t.Cleanup(fw.srv.Close)
+	return fw
+}
+
+func (fw *fakeWorker) answer(w http.ResponseWriter, r *http.Request) {
+	var req MeasureRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fp, err := ServingFingerprint(fw.fingerprint, fw.digest)
+	if err != nil {
+		fw.t.Error(err)
+	}
+	resp := MeasureResponse{Backend: "pipesim", Version: "1", Fingerprint: fp}
+	for _, raw := range req.Seqs {
+		var ws Seq
+		if err := json.Unmarshal(raw, &ws); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		total := len(ws.Order)
+		if total == 0 {
+			total = len(ws.Instrs)
+		}
+		resp.Counters = append(resp.Counters, Counters{Cycles: len(ws.Instrs), TotalUops: total})
+	}
+	json.NewEncoder(w).Encode(resp)
+}
+
+// configure points the global backend at the given fake workers with
+// test-friendly options and registers a cleanup shutdown.
+func configure(t *testing.T, opts Options, workers ...*fakeWorker) {
+	t.Helper()
+	for _, fw := range workers {
+		opts.Workers = append(opts.Workers, fw.srv.URL)
+	}
+	if opts.HedgeAfter == 0 {
+		opts.HedgeAfter = -1 // keep hedging out of tests that don't ask for it
+	}
+	if err := Configure(opts); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(Shutdown)
+}
+
+// testSequence builds a short concrete Skylake sequence.
+func testSequence(t *testing.T) asmgen.Sequence {
+	t.Helper()
+	arch, err := uarch.Lookup(uarch.Skylake)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := arch.InstrSet()
+	add, err := asmgen.NewInst(variant(t, set, "ADD_R64_R64"),
+		asmgen.RegOperand(isa.RAX), asmgen.RegOperand(isa.RBX))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := asmgen.NewInst(variant(t, set, "SUB_R64_R64"),
+		asmgen.RegOperand(isa.RCX), asmgen.RegOperand(isa.RDX))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return asmgen.Sequence{add, sub}
+}
+
+func newRunner(t *testing.T) measure.Runner {
+	t.Helper()
+	b, ok := measure.Lookup(BackendName)
+	if !ok {
+		t.Fatal("remote backend not registered")
+	}
+	r, err := b.NewRunner(uarch.Skylake)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func fleetStats(t *testing.T) measure.FleetStats {
+	t.Helper()
+	s, ok := theBackend.FleetStats()
+	if !ok {
+		t.Fatal("no fleet configured")
+	}
+	return s
+}
+
+func TestUnconfiguredBackend(t *testing.T) {
+	Shutdown()
+	b, ok := measure.Lookup(BackendName)
+	if !ok {
+		t.Fatal("remote backend not registered")
+	}
+	if b.Version() != "unconfigured" {
+		t.Errorf("unconfigured Version = %q", b.Version())
+	}
+	if err := theBackend.Ready(); err == nil {
+		t.Error("Ready() = nil for an unconfigured backend")
+	}
+	if _, err := b.NewRunner(uarch.Skylake); err == nil {
+		t.Error("NewRunner succeeded on an unconfigured backend")
+	}
+}
+
+func TestSetupResolvesFlags(t *testing.T) {
+	Shutdown()
+	if name, err := Setup("", "pipesim"); err != nil || name != "pipesim" {
+		t.Errorf("Setup(\"\", pipesim) = %q, %v", name, err)
+	}
+	if _, err := Setup("", BackendName); err == nil {
+		t.Error("Setup accepted -backend remote without a fleet")
+	}
+	if _, err := Setup("http://localhost:1", "pipesim"); err == nil {
+		t.Error("Setup accepted -fleet together with -backend pipesim")
+	}
+	fw := newFakeWorker(t, "pipesim@1", "aaaa")
+	name, err := Setup(fw.srv.URL, "")
+	if err != nil {
+		t.Fatalf("Setup(fleet): %v", err)
+	}
+	t.Cleanup(Shutdown)
+	if name != BackendName {
+		t.Errorf("Setup resolved backend %q, want %q", name, BackendName)
+	}
+	want := "fleet(pipesim@1 cfg=aaaa)"
+	if b, _ := measure.Lookup(BackendName); b.Version() != want {
+		t.Errorf("configured Version = %q, want %q", b.Version(), want)
+	}
+}
+
+func TestHandshakeMismatch(t *testing.T) {
+	Shutdown()
+	a := newFakeWorker(t, "pipesim@1", "aaaa")
+	b := newFakeWorker(t, "pipesim@2", "aaaa")
+	err := Configure(Options{Workers: []string{a.srv.URL, b.srv.URL}})
+	if err == nil {
+		Shutdown()
+		t.Fatal("Configure accepted a mixed-version fleet")
+	}
+	if !strings.Contains(err.Error(), "mismatch") {
+		t.Errorf("mismatch error = %v", err)
+	}
+
+	// Same fingerprint but different measurement configuration: also a hard
+	// error.
+	c := newFakeWorker(t, "pipesim@1", "bbbb")
+	if err := Configure(Options{Workers: []string{a.srv.URL, c.srv.URL}}); err == nil {
+		Shutdown()
+		t.Fatal("Configure accepted workers with different measurement configs")
+	}
+}
+
+func TestHandshakeUnreachableWorker(t *testing.T) {
+	Shutdown()
+	a := newFakeWorker(t, "pipesim@1", "aaaa")
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	if err := Configure(Options{Workers: []string{a.srv.URL, dead.URL}}); err == nil {
+		Shutdown()
+		t.Fatal("Configure accepted an unreachable worker")
+	}
+}
+
+func TestRunDeliversCounters(t *testing.T) {
+	fw := newFakeWorker(t, "pipesim@1", "aaaa")
+	configure(t, Options{}, fw)
+	r := newRunner(t)
+	code := testSequence(t)
+	c, err := r.Run(code.Repeat(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cycles != 2 || c.TotalUops != 6 {
+		t.Errorf("counters = %+v, want Cycles 2, TotalUops 6", c)
+	}
+	if s := fleetStats(t); s.Sequences != 1 || s.Batches != 1 {
+		t.Errorf("stats = %+v, want 1 sequence in 1 batch", s)
+	}
+}
+
+func TestRunnerDedupsRepeatMeasurement(t *testing.T) {
+	fw := newFakeWorker(t, "pipesim@1", "aaaa")
+	configure(t, Options{}, fw)
+	r := newRunner(t)
+	code := testSequence(t)
+	c1, err := r.Run(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the returned counters must not poison the cache.
+	if c1.PortUops != nil {
+		c1.PortUops[0] = 999
+	}
+	c1.Cycles = 999
+	c2, err := r.Run(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Cycles != 2 {
+		t.Errorf("deduped counters = %+v, want Cycles 2", c2)
+	}
+	if got := fw.measures.Load(); got != 1 {
+		t.Errorf("worker saw %d measure requests, want 1 (second Run must dedup)", got)
+	}
+	if s := fleetStats(t); s.Deduped != 1 {
+		t.Errorf("Deduped = %d, want 1", s.Deduped)
+	}
+
+	// A different divider regime is a different measurement.
+	r.(*Runner).SetDividerValues(pipesim.DividerValues(1))
+	if _, err := r.Run(code); err != nil {
+		t.Fatal(err)
+	}
+	if got := fw.measures.Load(); got != 2 {
+		t.Errorf("worker saw %d measure requests, want 2 (regime change must re-measure)", got)
+	}
+}
+
+func TestTransientFailureRetries(t *testing.T) {
+	fw := newFakeWorker(t, "pipesim@1", "aaaa")
+	fw.intercept = func(n int64, w http.ResponseWriter) bool {
+		if n == 1 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return true
+		}
+		return false
+	}
+	configure(t, Options{}, fw)
+	r := newRunner(t)
+	c, err := r.Run(testSequence(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cycles != 2 {
+		t.Errorf("counters after retry = %+v", c)
+	}
+	s := fleetStats(t)
+	if s.Retries < 1 || s.Errors < 1 {
+		t.Errorf("stats after transient failure = %+v, want retries and errors", s)
+	}
+}
+
+func TestPermanentSequenceErrorNotRetried(t *testing.T) {
+	fw := newFakeWorker(t, "pipesim@1", "aaaa")
+	fw.intercept = func(n int64, w http.ResponseWriter) bool {
+		fp, _ := ServingFingerprint(fw.fingerprint, fw.digest)
+		json.NewEncoder(w).Encode(MeasureResponse{
+			Backend: "pipesim", Version: "1", Fingerprint: fp,
+			Counters: make([]Counters, 1), Errs: []string{"unknown instruction variant"},
+		})
+		return true
+	}
+	configure(t, Options{}, fw)
+	r := newRunner(t)
+	_, err := r.Run(testSequence(t))
+	if err == nil || !strings.Contains(err.Error(), "unknown instruction variant") {
+		t.Fatalf("Run = %v, want the worker's per-sequence error", err)
+	}
+	if got := fw.measures.Load(); got != 1 {
+		t.Errorf("worker saw %d requests, want 1 (per-sequence errors are permanent)", got)
+	}
+	if s := fleetStats(t); s.Retries != 0 {
+		t.Errorf("Retries = %d, want 0", s.Retries)
+	}
+}
+
+func TestFingerprintDriftIsTransient(t *testing.T) {
+	fw := newFakeWorker(t, "pipesim@1", "aaaa")
+	configure(t, Options{MaxAttempts: 2}, fw)
+	// The worker restarts with a different build after the handshake.
+	fw.fingerprint = "pipesim@2"
+	r := newRunner(t)
+	_, err := r.Run(testSequence(t))
+	if err == nil {
+		t.Fatal("Run succeeded against a drifted worker")
+	}
+	if !strings.Contains(err.Error(), "drifted") {
+		t.Errorf("drift error = %v", err)
+	}
+}
+
+func TestHedgingDuplicatesStragglers(t *testing.T) {
+	fw := newFakeWorker(t, "pipesim@1", "aaaa")
+	release := make(chan struct{})
+	fw.intercept = func(n int64, w http.ResponseWriter) bool {
+		if n == 1 {
+			<-release // straggle until the hedge copy has been answered
+		}
+		return false
+	}
+	defer close(release)
+	configure(t, Options{HedgeAfter: 30 * time.Millisecond, InFlight: 2}, fw)
+	r := newRunner(t)
+	done := make(chan error, 1)
+	var c pipesim.Counters
+	go func() {
+		var err error
+		c, err = r.Run(testSequence(t))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("hedged measurement never completed")
+	}
+	if c.Cycles != 2 {
+		t.Errorf("hedged counters = %+v", c)
+	}
+	s := fleetStats(t)
+	if s.Hedges < 1 || s.HedgeWins < 1 {
+		t.Errorf("stats = %+v, want a hedge and a hedge win", s)
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	fw := newFakeWorker(t, "pipesim@1", "aaaa")
+	release := make(chan struct{})
+	fw.intercept = func(n int64, w http.ResponseWriter) bool {
+		<-release
+		return false
+	}
+	defer close(release)
+	configure(t, Options{CallTimeout: 100 * time.Millisecond, InFlight: 1}, fw)
+	r := newRunner(t)
+	_, err := r.Run(testSequence(t))
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("Run = %v, want a call timeout", err)
+	}
+}
+
+func TestClosedFleetFailsFast(t *testing.T) {
+	fw := newFakeWorker(t, "pipesim@1", "aaaa")
+	configure(t, Options{}, fw)
+	r := newRunner(t)
+	Shutdown()
+	if _, err := r.Run(testSequence(t)); err == nil {
+		t.Fatal("Run succeeded on a closed fleet")
+	}
+}

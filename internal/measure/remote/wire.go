@@ -1,0 +1,205 @@
+package remote
+
+// This file defines the wire format of the fleet measurement protocol: the
+// JSON bodies of POST /v1/measure requests and responses, and the lossless
+// encoding of concrete instruction sequences. The encoding carries the
+// variant *name* (unique within a generation's instruction set) plus the
+// concrete operand values — registers, memory base+address, immediates —
+// rather than assembler text, because text would have to be re-matched
+// against the variant table on the worker and two variants can share a
+// mnemonic and operand shape. Byte-identical characterization output depends
+// on the worker reconstructing exactly the sequence the client built,
+// including the virtual addresses of memory operands (they decide memory
+// dependencies in the simulator).
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"uopsinfo/internal/asmgen"
+	"uopsinfo/internal/isa"
+	"uopsinfo/internal/pipesim"
+)
+
+// Seq is one measurement request: a concrete instruction sequence under one
+// divider-value regime. Repeated sequences (the measurement protocol runs
+// n concatenated copies of a short kernel) are deduplicated by instruction
+// instance: Instrs holds each distinct instruction once and Order lists the
+// execution order as indices into Instrs. An empty Order means Instrs in
+// order.
+type Seq struct {
+	// Div is the operand-value regime for divider-based instructions
+	// (pipesim.DividerValues; 0 is the slow regime).
+	Div int `json:"div,omitempty"`
+	// Instrs are the distinct instruction instances of the sequence.
+	Instrs []Inst `json:"instrs"`
+	// Order is the execution order as indices into Instrs (empty: identity).
+	Order []int `json:"order,omitempty"`
+}
+
+// Inst is one concrete instruction: an instruction-variant name plus the
+// concrete values of its explicit operands.
+type Inst struct {
+	Name string `json:"name"`
+	Ops  []Op   `json:"ops,omitempty"`
+}
+
+// Op is one concrete explicit operand. Exactly one of Reg, Base (a memory
+// operand with its virtual address) or Imm is set.
+type Op struct {
+	Reg  string `json:"reg,omitempty"`
+	Base string `json:"base,omitempty"`
+	Addr uint64 `json:"addr,omitempty"`
+	Imm  *int64 `json:"imm,omitempty"`
+}
+
+// Counters mirrors pipesim.Counters on the wire.
+type Counters struct {
+	Cycles     int   `json:"cycles"`
+	PortUops   []int `json:"portUops,omitempty"`
+	TotalUops  int   `json:"totalUops"`
+	IssuedUops int   `json:"issuedUops"`
+	ElimUops   int   `json:"elimUops"`
+}
+
+// MeasureRequest is the body of POST /v1/measure: a batch of encoded
+// sequences to run on one generation. Sequences are raw JSON so the client
+// can assemble batches from pre-encoded calls without re-marshaling.
+type MeasureRequest struct {
+	Gen  string            `json:"gen"`
+	Seqs []json.RawMessage `json:"seqs"`
+}
+
+// MeasureResponse is the body of a successful POST /v1/measure: one Counters
+// entry per request sequence, plus the worker's serving-backend identity so
+// the client can detect a worker whose backend drifted (restart with a new
+// build) since the handshake. Errs, when non-empty, carries per-sequence
+// error strings ("" = the sequence succeeded); such errors are deterministic
+// properties of the sequence and must not be retried.
+type MeasureResponse struct {
+	Backend     string     `json:"backend"`
+	Version     string     `json:"version"`
+	Fingerprint string     `json:"fingerprint"`
+	Counters    []Counters `json:"counters"`
+	Errs        []string   `json:"errors,omitempty"`
+}
+
+// EncodeCounters converts simulator counters to their wire form.
+func EncodeCounters(c pipesim.Counters) Counters {
+	return Counters{Cycles: c.Cycles, PortUops: c.PortUops, TotalUops: c.TotalUops,
+		IssuedUops: c.IssuedUops, ElimUops: c.ElimUops}
+}
+
+// DecodeCounters converts wire counters back to simulator counters.
+func DecodeCounters(c Counters) pipesim.Counters {
+	return pipesim.Counters{Cycles: c.Cycles, PortUops: c.PortUops, TotalUops: c.TotalUops,
+		IssuedUops: c.IssuedUops, ElimUops: c.ElimUops}
+}
+
+// EncodeSeq encodes a concrete sequence under a divider-value regime.
+// Instruction instances are deduplicated by pointer: a materialized n-copy
+// measurement sequence repeats the same instances, so the wire form carries
+// each once plus the order, which keeps /v1/measure bodies proportional to
+// the kernel, not the copy count.
+func EncodeSeq(code asmgen.Sequence, div pipesim.DividerValues) Seq {
+	ws := Seq{Div: int(div)}
+	idx := make(map[*asmgen.Inst]int, 16)
+	order := make([]int, len(code))
+	identity := true
+	for i, in := range code {
+		j, ok := idx[in]
+		if !ok {
+			j = len(ws.Instrs)
+			idx[in] = j
+			ws.Instrs = append(ws.Instrs, encodeInst(in))
+		}
+		order[i] = j
+		if j != i {
+			identity = false
+		}
+	}
+	if !identity || len(order) != len(ws.Instrs) {
+		ws.Order = order
+	}
+	return ws
+}
+
+func encodeInst(in *asmgen.Inst) Inst {
+	wi := Inst{Name: in.Variant.Name}
+	for _, op := range in.Ops {
+		var wo Op
+		switch {
+		case op.Mem != nil:
+			wo.Base = op.Mem.Base.String()
+			wo.Addr = op.Mem.Addr
+		case op.HasImm:
+			v := op.Imm
+			wo.Imm = &v
+		default:
+			wo.Reg = op.Reg.String()
+		}
+		wi.Ops = append(wi.Ops, wo)
+	}
+	return wi
+}
+
+// DecodeSeq reconstructs the concrete sequence against a generation's
+// instruction set. Order entries reference the same decoded instruction
+// instance, mirroring the pointer sharing of the client's repeat buffers.
+// Every lookup or validation failure is an error naming the offending
+// instruction: these are deterministic request properties, never worth a
+// retry.
+func DecodeSeq(set *isa.Set, ws Seq) (asmgen.Sequence, error) {
+	insts := make([]*asmgen.Inst, len(ws.Instrs))
+	for i, wi := range ws.Instrs {
+		in, err := decodeInst(set, wi)
+		if err != nil {
+			return nil, err
+		}
+		insts[i] = in
+	}
+	if ws.Order == nil {
+		return asmgen.Sequence(insts), nil
+	}
+	seq := make(asmgen.Sequence, len(ws.Order))
+	for i, j := range ws.Order {
+		if j < 0 || j >= len(insts) {
+			return nil, fmt.Errorf("remote: sequence order index %d out of range (%d instructions)", j, len(insts))
+		}
+		seq[i] = insts[j]
+	}
+	return seq, nil
+}
+
+func decodeInst(set *isa.Set, wi Inst) (*asmgen.Inst, error) {
+	variant := set.Lookup(wi.Name)
+	if variant == nil {
+		return nil, fmt.Errorf("remote: unknown instruction variant %q", wi.Name)
+	}
+	ops := make([]asmgen.Operand, len(wi.Ops))
+	for i, wo := range wi.Ops {
+		switch {
+		case wo.Base != "":
+			base := isa.ParseReg(wo.Base)
+			if base == isa.RegNone {
+				return nil, fmt.Errorf("remote: %s: unknown base register %q", wi.Name, wo.Base)
+			}
+			ops[i] = asmgen.MemOperand(base, wo.Addr)
+		case wo.Imm != nil:
+			ops[i] = asmgen.ImmOperand(*wo.Imm)
+		case wo.Reg != "":
+			r := isa.ParseReg(wo.Reg)
+			if r == isa.RegNone {
+				return nil, fmt.Errorf("remote: %s: unknown register %q", wi.Name, wo.Reg)
+			}
+			ops[i] = asmgen.RegOperand(r)
+		default:
+			return nil, fmt.Errorf("remote: %s: operand %d is empty", wi.Name, i+1)
+		}
+	}
+	in, err := asmgen.NewInst(variant, ops...)
+	if err != nil {
+		return nil, fmt.Errorf("remote: %w", err)
+	}
+	return in, nil
+}

@@ -1,0 +1,204 @@
+// POST /v1/measure: the batch measurement endpoint of a fleet worker. The
+// body is a list of encoded instruction sequences plus a generation; the
+// response carries one raw simulator Counters per sequence. Execution rides
+// the engine's pooled measurement stacks (one warm harness per concurrent
+// batch, checked out for the duration of the request), identical sequences
+// measured concurrently are coalesced singleflight-style on their content
+// digest, and the endpoint sits behind the service's rate limiter like every
+// other non-probe endpoint. Per-sequence failures (unknown variant, operand
+// mismatch, simulator rejection) are deterministic properties of the request
+// and are reported per sequence inside a 200 response, so a fleet client
+// never retries them; only a malformed body or unknown generation is a 400.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"uopsinfo/internal/isa"
+	"uopsinfo/internal/measure"
+	"uopsinfo/internal/measure/remote"
+	"uopsinfo/internal/pipesim"
+	"uopsinfo/internal/uarch"
+)
+
+// maxMeasureBatch bounds the sequences accepted in one batch; clients are
+// expected to stay far below it.
+const maxMeasureBatch = 1024
+
+// maxMeasureBody bounds the request body (32 MiB — a full batch of long
+// repeat sequences is far smaller thanks to copy deduplication).
+const maxMeasureBody = 32 << 20
+
+// seqFlight is one in-progress sequence measurement, shared by every
+// concurrent identical request. counters and err are written before done is
+// closed and read only after.
+type seqFlight struct {
+	done     chan struct{}
+	counters pipesim.Counters
+	err      error
+}
+
+// dividerValueSetter is implemented by execution substrates that can switch
+// the operand-value regime for divider-based instructions.
+type dividerValueSetter interface {
+	SetDividerValues(pipesim.DividerValues)
+}
+
+// ServingInfo identifies the backend a worker's engine actually serves from
+// — as opposed to the registry listing, which names every compiled-in
+// backend. The fleet handshake consumes it: Fingerprint is the exact
+// name@version string folded into the worker's cache keys, and
+// MeasureDigest hashes the worker's measurement-protocol configuration, so
+// a client can refuse to treat differently-configured workers as one fleet.
+type ServingInfo struct {
+	Name          string         `json:"name"`
+	Version       string         `json:"version"`
+	Fingerprint   string         `json:"fingerprint"`
+	Measure       measure.Config `json:"measure"`
+	MeasureDigest string         `json:"measureDigest"`
+}
+
+// serving assembles the engine's serving-backend identity.
+func (s *Service) serving() ServingInfo {
+	b := s.eng.Backend()
+	mcfg := s.eng.MeasureConfig()
+	return ServingInfo{
+		Name:          b.Name(),
+		Version:       b.Version(),
+		Fingerprint:   b.Name() + "@" + b.Version(),
+		Measure:       mcfg,
+		MeasureDigest: measureDigest(mcfg),
+	}
+}
+
+// measureDigest hashes the measurement configuration into a short stable
+// token for the handshake comparison.
+func measureDigest(cfg measure.Config) string {
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		return "unhashable"
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
+}
+
+// servingFingerprint is the identity echoed in every /v1/measure response so
+// clients detect a worker whose backend drifted since their handshake.
+func (s *Service) servingFingerprint() string {
+	info := s.serving()
+	fp, err := remote.ServingFingerprint(info.Fingerprint, info.MeasureDigest)
+	if err != nil {
+		return info.Fingerprint
+	}
+	return fp
+}
+
+func (s *Service) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	var req remote.MeasureRequest
+	body := http.MaxBytesReader(w, r.Body, maxMeasureBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("service: decoding measure request: %w", err))
+		return
+	}
+	arch, err := uarch.ByName(req.Gen)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Seqs) == 0 || len(req.Seqs) > maxMeasureBatch {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("service: measure batch must hold 1..%d sequences, got %d", maxMeasureBatch, len(req.Seqs)))
+		return
+	}
+	pool, err := s.eng.SequencePool(arch.Gen())
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	h, _, err := pool.Get()
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	defer pool.Put(h)
+	runner := h.Runner()
+	set := arch.InstrSet()
+
+	resp := remote.MeasureResponse{
+		Backend:     s.eng.Backend().Name(),
+		Version:     s.eng.Backend().Version(),
+		Fingerprint: s.servingFingerprint(),
+		Counters:    make([]remote.Counters, len(req.Seqs)),
+	}
+	genPrefix := []byte(arch.Name() + "\x00")
+	seqErrs := 0
+	var errs []string
+	for i, raw := range req.Seqs {
+		c, err := s.measureSeq(set, runner, genPrefix, raw)
+		if err != nil {
+			if errs == nil {
+				errs = make([]string, len(req.Seqs))
+			}
+			errs[i] = err.Error()
+			seqErrs++
+			continue
+		}
+		resp.Counters[i] = remote.EncodeCounters(c)
+	}
+	resp.Errs = errs
+	s.count(func(c *Counters) {
+		c.MeasureBatches++
+		c.MeasureSeqs += len(req.Seqs)
+		c.MeasureSeqErrors += seqErrs
+	})
+	// Compact encoding, not writeJSON's indented form: measurement batches
+	// are fleet-internal traffic where body size is latency.
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		s.logf("service: encoding measure response: %v", err)
+	}
+}
+
+// measureSeq decodes and runs one sequence, coalescing concurrent identical
+// measurements (same generation, same encoded sequence and divider regime)
+// onto one execution. The counters a follower receives are shared with the
+// leader's; neither side mutates them (the response encodes them verbatim).
+func (s *Service) measureSeq(set *isa.Set, runner measure.Runner, genPrefix, raw []byte) (pipesim.Counters, error) {
+	key := sha256.Sum256(append(genPrefix, raw...))
+	s.seqMu.Lock()
+	if fl, ok := s.seqFlights[key]; ok {
+		s.seqMu.Unlock()
+		s.count(func(c *Counters) { c.MeasureCoalesced++ })
+		<-fl.done
+		return fl.counters, fl.err
+	}
+	fl := &seqFlight{done: make(chan struct{})}
+	s.seqFlights[key] = fl
+	s.seqMu.Unlock()
+	defer func() {
+		s.seqMu.Lock()
+		delete(s.seqFlights, key)
+		s.seqMu.Unlock()
+		close(fl.done)
+	}()
+
+	var ws remote.Seq
+	if err := json.Unmarshal(raw, &ws); err != nil {
+		fl.err = fmt.Errorf("decoding sequence: %w", err)
+		return pipesim.Counters{}, fl.err
+	}
+	seq, err := remote.DecodeSeq(set, ws)
+	if err != nil {
+		fl.err = err
+		return pipesim.Counters{}, fl.err
+	}
+	if setter, ok := runner.(dividerValueSetter); ok {
+		setter.SetDividerValues(pipesim.DividerValues(ws.Div))
+	}
+	fl.counters, fl.err = runner.Run(seq)
+	return fl.counters, fl.err
+}

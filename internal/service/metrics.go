@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+
+	"uopsinfo/internal/measure"
 )
 
 // metric is one exposition entry.
@@ -60,6 +62,64 @@ func (s *Service) metrics() []metric {
 			help: "Measurement repeat sequences materialized by pooled harnesses.", value: float64(es.PoolSeqBuilt)},
 		{name: "uopsd_engine_pool_seq_reused_total", typ: "counter",
 			help: "Measurement repeat sequences reused from pooled harness buffers.", value: float64(es.PoolSeqReused)},
+		{name: "uopsd_measure_batches_total", typ: "counter",
+			help: "Fleet-worker measurement batches served by POST /v1/measure.", value: float64(c.MeasureBatches)},
+		{name: "uopsd_measure_sequences_total", typ: "counter",
+			help: "Sequences measured inside /v1/measure batches.", value: float64(c.MeasureSeqs)},
+		{name: "uopsd_measure_sequence_errors_total", typ: "counter",
+			help: "Sequences inside /v1/measure batches that failed.", value: float64(c.MeasureSeqErrors)},
+		{name: "uopsd_measure_coalesced_total", typ: "counter",
+			help: "Sequence measurements coalesced onto an in-flight identical run.", value: float64(c.MeasureCoalesced)},
+	}
+	if f := es.Fleet; f != nil {
+		ms = append(ms,
+			metric{name: "uopsd_fleet_batches_total", typ: "counter",
+				help: "Measurement batches this process sent to its fleet (including retries and hedges).", value: float64(f.Batches)},
+			metric{name: "uopsd_fleet_sequences_total", typ: "counter",
+				help: "Sequences submitted to the fleet dispatcher.", value: float64(f.Sequences)},
+			metric{name: "uopsd_fleet_deduped_total", typ: "counter",
+				help: "Fleet measurements answered from a runner's last-result cache without network traffic.", value: float64(f.Deduped)},
+			metric{name: "uopsd_fleet_retries_total", typ: "counter",
+				help: "Sequences re-enqueued after a transient fleet batch failure.", value: float64(f.Retries)},
+			metric{name: "uopsd_fleet_errors_total", typ: "counter",
+				help: "Fleet batches that failed at the transport level.", value: float64(f.Errors)},
+			metric{name: "uopsd_fleet_hedges_total", typ: "counter",
+				help: "Straggler fleet batches duplicated to another worker.", value: float64(f.Hedges)},
+			metric{name: "uopsd_fleet_hedge_wins_total", typ: "counter",
+				help: "Sequences delivered after their batch was hedged.", value: float64(f.HedgeWins)})
+		// One series per worker, grouped by metric name: the exposition
+		// format wants every sample of a name under one HELP/TYPE block.
+		perWorker := []struct {
+			name, help, typ string
+			value           func(w measure.FleetWorkerStats) float64
+		}{
+			{"uopsd_fleet_worker_healthy",
+				"Whether the fleet worker is in rotation (1) or being probed after failures (0).", "gauge",
+				func(w measure.FleetWorkerStats) float64 {
+					if w.Healthy {
+						return 1
+					}
+					return 0
+				}},
+			{"uopsd_fleet_worker_batches_total",
+				"Measurement batches sent to the fleet worker.", "counter",
+				func(w measure.FleetWorkerStats) float64 { return float64(w.Batches) }},
+			{"uopsd_fleet_worker_sequences_total",
+				"Sequences sent to the fleet worker.", "counter",
+				func(w measure.FleetWorkerStats) float64 { return float64(w.Sequences) }},
+			{"uopsd_fleet_worker_errors_total",
+				"Transport-level batch failures against the fleet worker.", "counter",
+				func(w measure.FleetWorkerStats) float64 { return float64(w.Errors) }},
+			{"uopsd_fleet_worker_batch_latency_micros",
+				"Mean batch latency against the fleet worker, microseconds.", "gauge",
+				func(w measure.FleetWorkerStats) float64 { return float64(w.AvgBatchMicros) }},
+		}
+		for _, pm := range perWorker {
+			for _, w := range f.Workers {
+				ms = append(ms, metric{name: pm.name, help: pm.help, typ: pm.typ,
+					labels: fmt.Sprintf(`{worker=%q}`, w.URL), value: pm.value(w)})
+			}
+		}
 	}
 	counts := s.jobs.counts()
 	states := make([]string, 0, len(counts))

@@ -120,6 +120,16 @@ type Counters struct {
 	ClientGone int `json:"clientGone"`
 	// RateLimited counts requests rejected with 429 by the rate limiter.
 	RateLimited int `json:"rateLimited"`
+	// MeasureBatches and MeasureSeqs count the fleet-worker measurement
+	// batches (POST /v1/measure requests) served and the sequences inside
+	// them; MeasureSeqErrors counts the sequences among those that failed
+	// (reported per sequence inside a 200 response).
+	MeasureBatches   int `json:"measureBatches"`
+	MeasureSeqs      int `json:"measureSeqs"`
+	MeasureSeqErrors int `json:"measureSeqErrors"`
+	// MeasureCoalesced counts sequence measurements answered by joining an
+	// in-flight identical measurement instead of running their own.
+	MeasureCoalesced int `json:"measureCoalesced"`
 }
 
 // Service is the HTTP handler of the characterization service. It is safe
@@ -134,6 +144,12 @@ type Service struct {
 
 	mu       sync.Mutex
 	counters Counters
+
+	// seqMu guards seqFlights, the in-flight sequence measurements of the
+	// /v1/measure endpoint, keyed by content digest (generation + encoded
+	// sequence) so concurrent identical measurements coalesce onto one run.
+	seqMu      sync.Mutex
+	seqFlights map[[32]byte]*seqFlight
 
 	// iacaMu guards iacaCache, the per-generation IACA analyzers. Building
 	// an analyzer walks the generation's full instruction set, so it happens
@@ -161,12 +177,13 @@ func New(cfg Config) (*Service, error) {
 		baseCtx = context.Background()
 	}
 	s := &Service{
-		eng:       cfg.Engine,
-		log:       cfg.Log,
-		mux:       http.NewServeMux(),
-		baseCtx:   baseCtx,
-		jobs:      newJobTable(cfg.JobTTL),
-		iacaCache: make(map[uarch.Generation]*iacaEntry),
+		eng:        cfg.Engine,
+		log:        cfg.Log,
+		mux:        http.NewServeMux(),
+		baseCtx:    baseCtx,
+		jobs:       newJobTable(cfg.JobTTL),
+		seqFlights: make(map[[32]byte]*seqFlight),
+		iacaCache:  make(map[uarch.Generation]*iacaEntry),
 	}
 	if cfg.RateLimit > 0 {
 		s.limiter = newRateLimiter(cfg.RateLimit, cfg.RateBurst)
@@ -174,6 +191,7 @@ func New(cfg Config) (*Service, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/backends", s.handleBackends)
+	s.mux.HandleFunc("POST /v1/measure", s.handleMeasure)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/arch/{gen}", s.handleArch)
 	s.mux.HandleFunc("GET /v1/arch/{gen}/variant/{name}", s.handleVariant)
@@ -370,13 +388,30 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, map[string]string{"status": "ok"})
 }
 
-// BackendInfo is one entry of the /v1/backends response.
+// BackendInfo is one entry of the /v1/backends response. Fingerprint is the
+// name@version token folded into persistent cache keys for results measured
+// on that backend.
 type BackendInfo struct {
-	Name    string `json:"name"`
-	Version string `json:"version"`
-	Default bool   `json:"default"`
+	Name        string `json:"name"`
+	Version     string `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+	Default     bool   `json:"default"`
 }
 
+// backendInfo assembles one registry entry.
+func backendInfo(b measure.Backend) BackendInfo {
+	return BackendInfo{
+		Name:        b.Name(),
+		Version:     b.Version(),
+		Fingerprint: b.Name() + "@" + b.Version(),
+		Default:     b.Name() == measure.DefaultBackend,
+	}
+}
+
+// handleBackends lists the compiled-in backend registry plus a "serving"
+// section identifying the backend this service's engine actually measures on
+// — the part a fleet client's handshake consumes to verify that every worker
+// serves the same substrate under the same measurement configuration.
 func (s *Service) handleBackends(w http.ResponseWriter, r *http.Request) {
 	names := measure.Names()
 	infos := make([]BackendInfo, 0, len(names))
@@ -385,11 +420,12 @@ func (s *Service) handleBackends(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			continue
 		}
-		infos = append(infos, BackendInfo{Name: name, Version: b.Version(), Default: name == measure.DefaultBackend})
+		infos = append(infos, backendInfo(b))
 	}
 	s.writeJSON(w, struct {
 		Backends []BackendInfo `json:"backends"`
-	}{infos})
+		Serving  ServingInfo   `json:"serving"`
+	}{infos, s.serving()})
 }
 
 // StatsResponse is the /v1/stats response: what the engine is serving from
@@ -402,9 +438,8 @@ type StatsResponse struct {
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
-	b := s.eng.Backend()
 	s.writeJSON(w, StatsResponse{
-		Backend: BackendInfo{Name: b.Name(), Version: b.Version(), Default: b.Name() == measure.DefaultBackend},
+		Backend: backendInfo(s.eng.Backend()),
 		Engine:  s.eng.Stats(),
 		Service: s.Counters(),
 	})
