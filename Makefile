@@ -15,8 +15,8 @@ BENCH_LABEL ?= current
 BENCH_GUARD_PCT ?= 30
 
 .PHONY: build test vet race bench bench-smoke bench-json bench-json-smoke \
-	bench-compare bench-guard fmt fmt-check ci ci-cmd ci-service ci-fleet \
-	run-uopsd
+	bench-compare bench-guard fmt fmt-check lint lint-extra ci ci-cmd \
+	ci-service ci-fleet run-uopsd
 
 build:
 	$(GO) build ./...
@@ -95,13 +95,35 @@ bench-guard:
 	$(GO) test -run='^$$' -bench='BenchmarkRun' -count=3 -benchtime=0.3s ./internal/pipesim > "$$tmp/new.txt"; \
 	$(GO) run ./cmd/benchjson -compare -fail-above=$(BENCH_GUARD_PCT) "$$tmp/old.txt" "$$tmp/new.txt"
 
+# fmt and fmt-check skip testdata trees: analyzer fixtures under
+# internal/analysis/**/testdata are lint inputs whose exact layout (including
+# deliberately odd formatting) is part of the test, not repository style.
+# go build/vet/test skip testdata directories on their own.
 fmt:
-	gofmt -l -w .
+	find . -name '*.go' -not -path '*/testdata/*' -exec gofmt -l -w {} +
 
 fmt-check:
-	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+	@out="$$(find . -name '*.go' -not -path '*/testdata/*' -exec gofmt -l {} +)"; \
+	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# lint runs the repository's own static-analysis suite (cmd/uopslint): the
+# five analyzers that machine-check the determinism, arena and concurrency
+# invariants. A clean tree is also asserted by the meta-test in
+# internal/analysis/uopslint, so `make race` fails on findings too; this
+# target is the fast, direct way to see them.
+lint:
+	$(GO) run ./cmd/uopslint ./...
+
+# lint-extra runs third-party linters when they are installed. The container
+# images this repo builds in do not ship them (and cannot fetch them), so
+# each tool is skipped with a notice when absent instead of failing.
+lint-extra:
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "lint-extra: staticcheck not installed; skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "lint-extra: govulncheck not installed; skipping"; fi
 
 # ci-cmd re-runs the command-level cache determinism tests (mixed warm/cold
 # and incremental per-variant eviction) under the race detector and checks
@@ -142,10 +164,11 @@ ci-fleet:
 	$(GO) test -race -count=1 -run 'TestFleetFlagMatchesLocal' ./cmd/uopsinfo
 	$(GO) test -race -count=1 -run 'TestUopsdFleetFrontTier' ./cmd/uopsd
 
-# ci is the gate for every change: formatting and static checks, the full
-# test suite under the race detector (the characterization scheduler, the
-# engine and the service are concurrent), a one-iteration pass over every
-# benchmark, the benchmark-trajectory pipeline smoke, the hot-path ns/op
-# regression gate, the command-level cache/backend/service checks, and the
-# distributed-fleet suite.
-ci: fmt-check vet race bench-smoke bench-json-smoke bench-guard ci-cmd ci-service ci-fleet
+# ci is the gate for every change: formatting and static checks (vet plus
+# the repository's own uopslint suite), the full test suite under the race
+# detector (the characterization scheduler, the engine and the service are
+# concurrent), a one-iteration pass over every benchmark, the
+# benchmark-trajectory pipeline smoke, the hot-path ns/op regression gate,
+# the command-level cache/backend/service checks, and the distributed-fleet
+# suite.
+ci: fmt-check vet lint race bench-smoke bench-json-smoke bench-guard ci-cmd ci-service ci-fleet

@@ -1,0 +1,108 @@
+// Command uopslint runs the repository's static-analysis suite — the
+// five analyzers that machine-check the determinism, arena and
+// concurrency invariants the code's doc comments promise (see
+// internal/analysis and the "Static analysis" section of the README).
+//
+// Usage:
+//
+//	uopslint [-C dir] [-analyzers detrange,wallclock] [-list] [packages...]
+//
+// Packages default to ./... relative to -C (default: the current
+// directory). Every finding is printed as file:line:col: analyzer:
+// message; the exit status is 1 if there were findings, 2 on usage or
+// load errors, and 0 on a clean tree. Findings are suppressed per line
+// with //uopslint:ignore <analyzer> <reason>; a malformed suppression is
+// itself a finding.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"uopsinfo/internal/analysis"
+	"uopsinfo/internal/analysis/uopslint"
+)
+
+// errUsage signals that the flag package already printed the diagnostic
+// and usage text, so main only needs to set the exit status.
+var errUsage = errors.New("usage")
+
+// errFindings signals findings were printed; main exits 1 without
+// logging anything further.
+var errFindings = errors.New("findings")
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("uopslint: ")
+	if err := run(os.Args[1:], os.Stdout, log.Default()); err != nil {
+		switch {
+		case errors.Is(err, errFindings):
+			os.Exit(1)
+		case errors.Is(err, errUsage):
+			os.Exit(2)
+		default:
+			log.Print(err)
+			os.Exit(2)
+		}
+	}
+}
+
+func run(args []string, stdout io.Writer, logger *log.Logger) error {
+	fs := flag.NewFlagSet("uopslint", flag.ContinueOnError)
+	dir := fs.String("C", ".", "directory to resolve package patterns in")
+	only := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
+
+	suite := uopslint.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%s: %s\n", a.Name, a.Doc)
+		}
+		return nil
+	}
+
+	analyzers := suite
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer, len(suite))
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				return fmt.Errorf("unknown analyzer %q (known: %s)",
+					name, strings.Join(uopslint.Names(), ", "))
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		return err
+	}
+	// Ignore directives may legally name any analyzer of the full suite,
+	// including ones deselected by -analyzers.
+	findings, err := analysis.Check(pkgs, analyzers, uopslint.Names())
+	if err != nil {
+		return err
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		logger.Printf("%d finding(s)", len(findings))
+		return errFindings
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"log"
+	"strings"
+	"testing"
+
+	"uopsinfo/internal/analysis/uopslint"
+)
+
+func runForTest(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var stdout, logs bytes.Buffer
+	err := run(args, &stdout, log.New(&logs, "", 0))
+	return stdout.String(), logs.String(), err
+}
+
+func TestRunList(t *testing.T) {
+	stdout, _, err := runForTest(t, "-list")
+	if err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	for _, name := range uopslint.Names() {
+		if !strings.Contains(stdout, name+": ") {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, stdout)
+		}
+	}
+}
+
+func TestRunUnknownAnalyzer(t *testing.T) {
+	_, _, err := runForTest(t, "-analyzers", "nosuch")
+	if err == nil || !strings.Contains(err.Error(), `unknown analyzer "nosuch"`) {
+		t.Fatalf("run -analyzers nosuch: err = %v, want unknown-analyzer error", err)
+	}
+	for _, name := range uopslint.Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-analyzer error should list %s: %v", name, err)
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if _, _, err := runForTest(t, "-nosuchflag"); !errors.Is(err, errUsage) {
+		t.Fatalf("run -nosuchflag: err = %v, want errUsage", err)
+	}
+}
+
+func TestRunCleanTree(t *testing.T) {
+	stdout, logs, err := runForTest(t, "-C", "../..", "./...")
+	if err != nil {
+		t.Fatalf("run over repository: %v\n%s%s", err, stdout, logs)
+	}
+	if stdout != "" {
+		t.Errorf("clean tree printed findings:\n%s", stdout)
+	}
+}
+
+func TestRunSubset(t *testing.T) {
+	stdout, _, err := runForTest(t, "-C", "../..", "-analyzers", "detrange,wallclock", "./internal/store/...")
+	if err != nil {
+		t.Fatalf("run subset: %v\n%s", err, stdout)
+	}
+}

@@ -48,14 +48,16 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		// Solve the same problem with both solvers.
+		// Solve the same problem with both solvers, feeding the groups in
+		// PortUsage.Keys order (the solvers are floating-point; input
+		// order must not depend on map iteration).
 		var groups []lp.PortGroup
-		for key, count := range pu {
+		for _, key := range pu.Keys() {
 			var ports []int
 			for _, ch := range key {
 				ports = append(ports, int(ch-'0'))
 			}
-			groups = append(groups, lp.PortGroup{Ports: ports, Count: count})
+			groups = append(groups, lp.PortGroup{Ports: ports, Count: pu[key]})
 		}
 		exact, err := lp.MinMaxLoad(groups, arch.NumPorts())
 		if err != nil {

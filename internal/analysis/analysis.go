@@ -1,0 +1,111 @@
+// Package analysis is a small static-analysis framework modelled on
+// golang.org/x/tools/go/analysis, built entirely on the standard library's
+// go/ast and go/types so it works in hermetic builds with no module
+// downloads. It exists to machine-check the invariants this repository's
+// doc comments promise but the compiler cannot see: deterministic output
+// for any worker count, wall-clock-free deterministic packages, the
+// pipesim arena index discipline, the measurement-sequence no-retention
+// contract, and consistent atomic access to shared counters.
+//
+// The shape mirrors go/analysis deliberately: an Analyzer has a Name, a
+// Doc string and a Run function over a Pass; a Pass exposes the parsed
+// files, the type-checked package and the types.Info for the package under
+// analysis, and diagnostics are reported through the Pass. Should the
+// repository ever gain network access to x/tools, the analyzers port over
+// mechanically.
+//
+// # Suppressions
+//
+// A finding can be silenced with a comment on the flagged line (or on a
+// comment-only line directly above it):
+//
+//	//uopslint:ignore <analyzer> <reason>
+//
+// The analyzer name must be one of the known analyzers and the reason must
+// be non-empty; a malformed ignore directive is itself a finding, so
+// suppressions cannot rot silently.
+//
+// # Package directives
+//
+// Two package-scope directives opt a package into stricter analyzer
+// regimes (placed as a directive comment next to the package clause):
+//
+//	//uopslint:deterministic   wallclock: no time.Now/Since/... or math/rand
+//	//uopslint:arena           arenaindex: int→int32 only via the idx32 funnel
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in
+	// //uopslint:ignore directives. It must be a valid identifier.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer checks,
+	// beginning with the invariant it guards.
+	Doc string
+
+	// Run applies the analyzer to one package, reporting findings via
+	// pass.Reportf. It is called once per package; analyzers must not
+	// keep state across calls.
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer with the parsed and type-checked package
+// under analysis and a sink for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one raw finding, before suppression filtering.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Finding is one reported problem after suppression filtering, with the
+// position resolved for display.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// HasPackageDirective reports whether any file of the package carries the
+// given //uopslint:<name> directive comment (e.g. "deterministic",
+// "arena"). Directives are matched on whole comment lines, so a mention
+// inside prose does not count.
+func HasPackageDirective(files []*ast.File, name string) bool {
+	want := directivePrefix + name
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if c.Text == want {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

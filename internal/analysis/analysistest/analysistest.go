@@ -1,0 +1,312 @@
+// Package analysistest runs analyzers over fixture packages and checks
+// their findings against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live in GOPATH-style trees: testdata/src/<importpath>/*.go.
+// Fixture files may import sibling fixture packages (resolved from the
+// same tree, type-checked from source) and the standard library (resolved
+// from compiler export data). A line producing a finding carries a
+// comment of the form
+//
+//	// want "regexp" "another regexp"
+//
+// where each quoted (or backquoted) Go string literal is a regular
+// expression that must match one finding's message reported on that line.
+// Every finding must be wanted and every want must be matched, including
+// the malformed-suppression findings the framework itself emits.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"uopsinfo/internal/analysis"
+)
+
+// Run loads the fixture package at testdata/src/<pkgpath>, applies the
+// analyzers through the framework's full Check path (including
+// suppression filtering and ignore-directive validation), and reports any
+// divergence from the fixture's // want comments as test errors.
+func Run(t *testing.T, testdata, pkgpath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := &fixtureImporter{
+		srcRoot: filepath.Join(testdata, "src"),
+		fset:    fset,
+		pkgs:    make(map[string]*types.Package),
+		exports: make(map[string]string),
+	}
+	pkg, err := imp.load(pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+	}
+	known := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		known[i] = a.Name
+	}
+	findings, err := analysis.Check([]*analysis.Package{pkg}, analyzers, known)
+	if err != nil {
+		t.Fatalf("checking fixture %s: %v", pkgpath, err)
+	}
+	wants, err := parseWants(fset, pkg.Files)
+	if err != nil {
+		t.Fatalf("parsing want comments in %s: %v", pkgpath, err)
+	}
+	for _, f := range findings {
+		if !wants.match(f) {
+			t.Errorf("%s: unexpected finding: %s: %s", f.Pos, f.Analyzer, f.Message)
+		}
+	}
+	for _, w := range wants.unmatched() {
+		t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.re)
+	}
+}
+
+// A want is one expected-finding regexp at a specific file line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+type wantSet struct{ wants []*want }
+
+func (ws *wantSet) match(f analysis.Finding) bool {
+	for _, w := range ws.wants {
+		if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (ws *wantSet) unmatched() []*want {
+	var out []*want
+	for _, w := range ws.wants {
+		if !w.matched {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out
+}
+
+func parseWants(fset *token.FileSet, files []*ast.File) (*wantSet, error) {
+	ws := &wantSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				res, err := parseWantStrings(text)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %v", pos, err)
+				}
+				for _, s := range res {
+					re, err := regexp.Compile(s)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, s, err)
+					}
+					ws.wants = append(ws.wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return ws, nil
+}
+
+// parseWantStrings reads a sequence of space-separated Go string literals
+// (double-quoted or backquoted).
+func parseWantStrings(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" {
+			break
+		}
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quoted string in want comment")
+			}
+			lit, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted string %s: %v", s[:end+1], err)
+			}
+			out = append(out, lit)
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquoted string in want comment")
+			}
+			out = append(out, s[1:1+end])
+			s = s[end+2:]
+		default:
+			return nil, fmt.Errorf("want comment must hold quoted regexps, got %q", s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment with no regexps")
+	}
+	return out, nil
+}
+
+// fixtureImporter resolves fixture-tree imports from source and standard
+// library imports from compiler export data fetched on demand with
+// `go list -export`.
+type fixtureImporter struct {
+	srcRoot string
+	fset    *token.FileSet
+	pkgs    map[string]*types.Package
+	exports map[string]string
+	std     types.Importer
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.pkgs[path]; ok {
+		return p, nil
+	}
+	if dir := filepath.Join(fi.srcRoot, path); isDir(dir) {
+		pkg, err := fi.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	if fi.std == nil {
+		fi.std = importer.ForCompiler(fi.fset, "gc", fi.lookupExport)
+	}
+	return fi.std.Import(path)
+}
+
+// load parses and type-checks the fixture package at srcRoot/<path>.
+func (fi *fixtureImporter) load(path string) (*analysis.Package, error) {
+	dir := filepath.Join(fi.srcRoot, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	sources := make(map[string][]byte)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		af, err := parser.ParseFile(fi.fset, name, src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+		sources[name] = src
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in fixture %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: fi}
+	tpkg, err := conf.Check(path, fi.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %v", path, err)
+	}
+	fi.pkgs[path] = tpkg
+	return &analysis.Package{
+		Fset:       fi.fset,
+		Files:      files,
+		Pkg:        tpkg,
+		Info:       info,
+		Dir:        dir,
+		ImportPath: path,
+		Sources:    sources,
+	}, nil
+}
+
+// lookupExport resolves a standard-library package to its export data
+// file, shelling out to `go list -deps -export` once per unseen root and
+// caching the transitive closure it reports.
+func (fi *fixtureImporter) lookupExport(path string) (io.ReadCloser, error) {
+	if f, ok := fi.exports[path]; ok {
+		return os.Open(f)
+	}
+	cmd := exec.Command("go", "list", "-deps", "-export",
+		"-json=ImportPath,Export,Standard", path)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.Bytes())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct {
+			ImportPath, Export string
+			Standard           bool
+		}
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Standard && p.Export != "" {
+			fi.exports[p.ImportPath] = p.Export
+		}
+	}
+	f, ok := fi.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q (fixtures may only import the standard library and sibling fixture packages)", path)
+	}
+	return os.Open(f)
+}
+
+func isDir(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.IsDir()
+}

@@ -1,0 +1,204 @@
+// Package arenaindex enforces the pipesim arena discipline in packages
+// marked //uopslint:arena.
+//
+// The simulator's hot path addresses dynamic µops, renamed values and
+// wake-up list nodes by int32 indices into per-Machine arenas; cycle
+// counts are int32 too. That is only sound because NewWithConfig bounds
+// the cycle horizon (MaxCycles ≤ 2^30) and the port count, so indices and
+// ready times cannot wrap — a bound that is easy to lose when a new
+// int→int32 conversion sneaks in somewhere the guard does not cover. The
+// analyzer therefore funnels every non-constant conversion from a wide
+// integer type to int32 through a single audited helper, idx32, whose
+// race-build assertion backs the guarantee; a direct conversion anywhere
+// else in an arena package is a finding.
+//
+// The second half of the discipline is lifetime: arena-backed slices are
+// reset (not freed) between runs, so an exported function that returns
+// one — or stores one in a package-level variable — leaks memory that the
+// next Run will overwrite. The analyzer flags exported functions whose
+// return values alias a slice-typed field of their receiver and
+// assignments of receiver slice fields to package-level variables.
+package arenaindex
+
+import (
+	"go/ast"
+	"go/types"
+
+	"uopsinfo/internal/analysis"
+)
+
+// FunnelName is the audited int→int32 conversion helper arena packages
+// must route wide-to-int32 conversions through.
+const FunnelName = "idx32"
+
+// Analyzer enforces the arena int32-index and no-escape discipline in
+// packages marked //uopslint:arena.
+var Analyzer = &analysis.Analyzer{
+	Name: "arenaindex",
+	Doc: "in //uopslint:arena packages, require int→int32 conversions to go through the " +
+		"audited idx32 funnel and forbid exported functions from leaking arena-backed " +
+		"slice fields (PR 5/7 arena discipline)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.HasPackageDirective(pass.Files, "arena") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name != FunnelName {
+				checkConversions(pass, fd)
+			}
+			checkEscapes(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkConversions flags non-constant conversions from wide integer types
+// to int32 outside the idx32 funnel.
+func checkConversions(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return true
+		}
+		if b, ok := tv.Type.Underlying().(*types.Basic); !ok || b.Kind() != types.Int32 {
+			return true
+		}
+		argTV := pass.TypesInfo.Types[call.Args[0]]
+		if argTV.Value != nil { // constant: the compiler checks the range
+			return true
+		}
+		b, ok := argTV.Type.Underlying().(*types.Basic)
+		if !ok {
+			return true
+		}
+		switch b.Kind() {
+		case types.Int, types.Int64, types.Uint, types.Uint64, types.Uintptr:
+			pass.Reportf(call.Pos(),
+				"unguarded %s→int32 conversion; use %s so the range assertion in race builds covers it",
+				b.Name(), FunnelName)
+		}
+		return true
+	})
+}
+
+// checkEscapes flags exported functions that leak receiver slice fields
+// (returns that alias them, or stores into package-level variables).
+func checkEscapes(pass *analysis.Pass, fd *ast.FuncDecl) {
+	recv := receiverObj(pass, fd)
+	exported := fd.Name.IsExported()
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			if !exported || recv == nil {
+				return true
+			}
+			for _, res := range n.Results {
+				if aliasesRecvSliceField(pass, res, recv) {
+					pass.Reportf(res.Pos(),
+						"exported %s returns a slice aliasing an arena field of %s; arenas are reset between runs — copy instead",
+						fd.Name.Name, recv.Name())
+				}
+			}
+		case *ast.AssignStmt:
+			if recv == nil {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) && len(n.Rhs) != 1 {
+					continue
+				}
+				rhs := n.Rhs[0]
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				if isPackageLevelVar(pass, lhs) && aliasesRecvSliceField(pass, rhs, recv) {
+					pass.Reportf(n.Pos(),
+						"stores a slice aliasing an arena field of %s in a package-level variable; arenas are reset between runs",
+						recv.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// aliasesRecvSliceField reports whether e evaluates to a slice sharing a
+// backing array with a slice-typed field of the receiver: the field
+// selector itself, a reslice of it, an append to it (which may return the
+// same array), or a composite literal carrying one of those. Element
+// reads (f[i]), len/cap and variadic append *sources* (append(dst,
+// f...) copies) do not alias.
+func aliasesRecvSliceField(pass *analysis.Pass, e ast.Expr, recv types.Object) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return aliasesRecvSliceField(pass, e.X, recv)
+	case *ast.SelectorExpr:
+		return isRecvSliceField(pass, e, recv)
+	case *ast.SliceExpr:
+		return aliasesRecvSliceField(pass, e.X, recv)
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(e.Args) > 0 {
+				return aliasesRecvSliceField(pass, e.Args[0], recv)
+			}
+		}
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			v := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if aliasesRecvSliceField(pass, v, recv) {
+				return true
+			}
+		}
+	case *ast.UnaryExpr:
+		return aliasesRecvSliceField(pass, e.X, recv)
+	}
+	return false
+}
+
+func isRecvSliceField(pass *analysis.Pass, sel *ast.SelectorExpr, recv types.Object) bool {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || pass.TypesInfo.Uses[id] != recv {
+		return false
+	}
+	s := pass.TypesInfo.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return false
+	}
+	_, isSlice := s.Type().Underlying().(*types.Slice)
+	return isSlice
+}
+
+func receiverObj(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+}
+
+func isPackageLevelVar(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	v, ok := obj.(*types.Var)
+	return ok && v.Parent() == pass.Pkg.Scope()
+}

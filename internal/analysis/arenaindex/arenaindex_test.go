@@ -1,0 +1,16 @@
+package arenaindex_test
+
+import (
+	"testing"
+
+	"uopsinfo/internal/analysis/analysistest"
+	"uopsinfo/internal/analysis/arenaindex"
+)
+
+func TestArenaindexArenaPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", "arenafix", arenaindex.Analyzer)
+}
+
+func TestArenaindexUnmarkedPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", "noarena", arenaindex.Analyzer)
+}

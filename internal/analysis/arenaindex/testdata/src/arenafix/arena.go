@@ -1,0 +1,48 @@
+// Package arenafix opts into the arena discipline: wide-integer narrowing
+// must go through the idx32 funnel, and arena-backed slices must not leak
+// out of the owning value.
+//uopslint:arena
+package arenafix
+
+// Machine carries arena-backed state reused across runs.
+type Machine struct {
+	vals []int32
+	tags []string
+}
+
+// idx32 is the funnel: the conversion inside it is the one allowed site.
+func idx32(v int) int32 {
+	return int32(v)
+}
+
+// grow demonstrates both sides of the conversion rule.
+func (m *Machine) grow(n int, packed uint32) int32 {
+	idx := int32(len(m.vals)) // want `unguarded int→int32 conversion; use idx32`
+	_ = int32(n)              // want `unguarded int→int32 conversion; use idx32`
+	_ = idx32(n)              // through the funnel: clean
+	_ = int32(packed >> 8)    // uint32 source, a bit-unpack: clean
+	_ = int32(7)              // constant: clean
+	return idx
+}
+
+// Vals leaks the arena backing array to the caller.
+func (m *Machine) Vals() []int32 {
+	return m.vals // want `exported Vals returns a slice aliasing an arena field of m`
+}
+
+// ValsCopy hands out a copy: clean.
+func (m *Machine) ValsCopy() []int32 {
+	return append([]int32(nil), m.vals...)
+}
+
+// vals is unexported, so intra-package aliasing is allowed.
+func (m *Machine) valsRaw() []int32 {
+	return m.vals
+}
+
+var leaked []int32
+
+// Stash retains the arena slice beyond the Machine's reset cycle.
+func (m *Machine) Stash() {
+	leaked = m.vals // want `stores a slice aliasing an arena field of m in a package-level variable`
+}

@@ -1,0 +1,18 @@
+// Package noarena has no arena directive: bare int32 conversions and
+// returned slice fields are allowed and the analyzer must stay silent.
+package noarena
+
+// Buf is an ordinary container, not an arena.
+type Buf struct {
+	vals []int32
+}
+
+// Narrow converts without a funnel; fine outside arena packages.
+func Narrow(v int) int32 {
+	return int32(v)
+}
+
+// Vals may alias freely here.
+func (b *Buf) Vals() []int32 {
+	return b.vals
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MalformedIgnoreAnalyzer is the name findings about malformed
+// //uopslint:ignore directives are reported under. It is not a runnable
+// analyzer: the directive validation runs on every Check, so a broken
+// suppression can never silently disable a real one.
+const MalformedIgnoreAnalyzer = "uopslint"
+
+// Check runs the analyzers over the packages, applies //uopslint:ignore
+// suppressions, validates every ignore directive (a malformed one is
+// itself a finding), and returns the surviving findings sorted by
+// position. known is the full set of analyzer names a directive may
+// legally reference — typically the whole suite, even when only a subset
+// of analyzers runs, so a valid suppression for an unselected analyzer is
+// not misreported as unknown.
+func Check(pkgs []*Package, analyzers []*Analyzer, known []string) ([]Finding, error) {
+	knownSet := make(map[string]bool, len(known))
+	for _, n := range known {
+		knownSet[n] = true
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		ignores := parseIgnores(pkg.Fset, pkg.Files, pkg.Sources, knownSet)
+		for _, d := range ignores {
+			if d.bad != "" {
+				findings = append(findings, Finding{
+					Analyzer: MalformedIgnoreAnalyzer,
+					Pos:      pkg.Fset.Position(d.pos),
+					Message:  "malformed //uopslint:ignore directive: " + d.bad,
+				})
+			}
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.Info,
+			}
+			var diags []Diagnostic
+			pass.report = func(d Diagnostic) { diags = append(diags, d) }
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				if suppressed(ignores, a.Name, pos.Filename, pos.Line) {
+					continue
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+func suppressed(ignores []*ignoreDirective, analyzer, file string, line int) bool {
+	for _, d := range ignores {
+		if d.appliesTo(analyzer, file, line) {
+			return true
+		}
+	}
+	return false
+}

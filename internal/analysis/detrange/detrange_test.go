@@ -1,0 +1,12 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"uopsinfo/internal/analysis/analysistest"
+	"uopsinfo/internal/analysis/detrange"
+)
+
+func TestDetrange(t *testing.T) {
+	analysistest.Run(t, "testdata", "detrangefix", detrange.Analyzer)
+}

@@ -1,0 +1,97 @@
+// Package detrangefix exercises the detrange analyzer: map ranges whose
+// bodies have order-sensitive effects are findings; commutative bodies and
+// append-then-sort pipelines are clean.
+package detrangefix
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// appendNoSort leaks map order into a slice that is never sorted.
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map m in nondeterministic order and appends to keys`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// appendThenSort is the canonical clean pattern: collect, then sort.
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// appendThenSortSlice also counts: any sort call over the same slice.
+func appendThenSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// concat builds a string directly from map order.
+func concat(m map[string]int) string {
+	s := ""
+	for k := range m { // want `range over map m in nondeterministic order and concatenates into string s`
+		s += k
+	}
+	return s
+}
+
+// floatSum accumulates floats, which is not associative.
+func floatSum(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want `range over map m in nondeterministic order and accumulates floating-point value sum`
+		sum += v
+	}
+	return sum
+}
+
+// intSum accumulates integers, which is commutative: clean.
+func intSum(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// mapWrite only writes another map: clean.
+func mapWrite(m map[string]int) map[int]string {
+	out := make(map[int]string)
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// chanSend leaks map order into channel message order.
+func chanSend(m map[string]int, ch chan string) {
+	for k := range m { // want `range over map m in nondeterministic order and sends on a channel`
+		ch <- k
+	}
+}
+
+// sinkWrite streams map entries straight to a writer.
+func sinkWrite(m map[string]int, w io.Writer) {
+	for k, v := range m { // want `range over map m in nondeterministic order and writes via fmt.Fprintf`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// annotated is order-sensitive in form but suppressed with a reason.
+func annotated(m map[string]int, w io.Writer) {
+	//uopslint:ignore detrange debug dump only, never parsed
+	for k := range m {
+		fmt.Fprintln(w, k)
+	}
+}

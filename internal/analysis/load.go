@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// A Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	Dir        string
+	ImportPath string
+	// Sources maps each file name to its content; the suppression
+	// matcher uses it to decide whether an ignore directive stands alone
+	// on its line.
+	Sources map[string][]byte
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	Standard   bool
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load lists the packages matching the patterns (relative to dir), parses
+// and type-checks every non-standard-library package among them, and
+// returns the matched ones in dependency order. Standard-library
+// dependencies are resolved from compiler export data (via `go list
+// -export`), so no package source outside the module is re-type-checked.
+// Test files and testdata directories are excluded, mirroring `go vet`'s
+// default package walk.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-export",
+		"-json=Dir,ImportPath,GoFiles,Standard,Export,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	exports := make(map[string]string) // stdlib import path → export data file
+	var modPkgs []listedPackage        // module packages in dependency order
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Standard {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+			continue
+		}
+		modPkgs = append(modPkgs, p)
+	}
+
+	fset := token.NewFileSet()
+	imp := &moduleImporter{
+		mod: make(map[string]*types.Package),
+		std: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			f, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(f)
+		}),
+	}
+
+	var out2 []*Package
+	for _, lp := range modPkgs {
+		pkg, err := checkPackage(fset, lp.ImportPath, lp.Dir, lp.GoFiles, imp)
+		if err != nil {
+			return nil, err
+		}
+		imp.mod[lp.ImportPath] = pkg.Pkg
+		if !lp.DepOnly {
+			out2 = append(out2, pkg)
+		}
+	}
+	return out2, nil
+}
+
+// checkPackage parses and type-checks one package from source.
+func checkPackage(fset *token.FileSet, importPath, dir string, goFiles []string, imp types.Importer) (*Package, error) {
+	files := make([]*ast.File, 0, len(goFiles))
+	sources := make(map[string][]byte, len(goFiles))
+	for _, name := range goFiles {
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		af, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		files = append(files, af)
+		sources[path] = src
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		Info:       info,
+		Dir:        dir,
+		ImportPath: importPath,
+		Sources:    sources,
+	}, nil
+}
+
+// moduleImporter resolves module-internal imports from packages this
+// loader has already type-checked and everything else (the standard
+// library) from compiler export data.
+type moduleImporter struct {
+	mod map[string]*types.Package
+	std types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.mod[path]; ok {
+		return p, nil
+	}
+	return m.std.Import(path)
+}

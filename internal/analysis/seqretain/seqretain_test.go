@@ -1,0 +1,12 @@
+package seqretain_test
+
+import (
+	"testing"
+
+	"uopsinfo/internal/analysis/analysistest"
+	"uopsinfo/internal/analysis/seqretain"
+)
+
+func TestSeqretain(t *testing.T) {
+	analysistest.Run(t, "testdata", "seqfix", seqretain.Analyzer)
+}

@@ -1,0 +1,12 @@
+package statsatomic_test
+
+import (
+	"testing"
+
+	"uopsinfo/internal/analysis/analysistest"
+	"uopsinfo/internal/analysis/statsatomic"
+)
+
+func TestStatsatomic(t *testing.T) {
+	analysistest.Run(t, "testdata", "atomicfix", statsatomic.Analyzer)
+}

@@ -1,0 +1,52 @@
+// Package atomicfix exercises the statsatomic analyzer: fields touched by
+// sync/atomic anywhere in the package must not also be accessed plainly.
+package atomicfix
+
+import "sync/atomic"
+
+// Stats mixes access disciplines across its fields.
+type Stats struct {
+	hits   int64 // atomic everywhere: clean
+	misses int64 // atomic on the write side, plain on the read side
+	local  int64 // never atomic: clean
+	typed  atomic.Int64
+}
+
+// Record is the concurrent write side.
+func (s *Stats) Record(hit bool) {
+	if hit {
+		atomic.AddInt64(&s.hits, 1)
+	} else {
+		atomic.AddInt64(&s.misses, 1)
+	}
+	s.typed.Add(1)
+	s.local++
+}
+
+// Hits reads consistently atomically: clean.
+func (s *Stats) Hits() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+// Misses reads the atomically-written field with a bare load.
+func (s *Stats) Misses() int64 {
+	return s.misses // want `plain access to field misses, which is accessed atomically at`
+}
+
+// Reset stores plainly into the same field.
+func (s *Stats) Reset() {
+	s.misses = 0 // want `plain access to field misses, which is accessed atomically at`
+}
+
+// Snapshot reads after all writers have joined; the annotation records
+// that reasoning instead of leaving a silent race-shaped read.
+func (s *Stats) Snapshot() int64 {
+	//uopslint:ignore statsatomic called only after the worker pool has joined
+	return s.misses
+}
+
+// NewStats uses composite-literal keys, which are construction-time and
+// exempt by design.
+func NewStats() *Stats {
+	return &Stats{hits: 0, misses: 0}
+}

@@ -1,0 +1,73 @@
+package uopslint_test
+
+import (
+	"testing"
+
+	"uopsinfo/internal/analysis"
+	"uopsinfo/internal/analysis/uopslint"
+)
+
+// TestRepoClean is the meta-test: the whole repository must produce zero
+// findings under the full suite. Every deliberate exception is expected to
+// carry an //uopslint:ignore annotation with a reason, so a failure here
+// means either a real invariant violation or a missing justification.
+func TestRepoClean(t *testing.T) {
+	pkgs, err := analysis.Load("../../..", "./...")
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; the module walk looks broken", len(pkgs))
+	}
+	findings, err := analysis.Check(pkgs, uopslint.Suite(), uopslint.Names())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestDeterministicPackagesMarked pins the set of packages that opt into
+// the wallclock discipline: the measurement pipeline from ISA tables to
+// XML output. Removing a directive (or adding a package to the pipeline
+// without one) should be a conscious decision, not an accident.
+func TestDeterministicPackagesMarked(t *testing.T) {
+	want := map[string]bool{
+		"uopsinfo/internal/asmgen":  true,
+		"uopsinfo/internal/core":    true,
+		"uopsinfo/internal/fog":     true,
+		"uopsinfo/internal/iaca":    true,
+		"uopsinfo/internal/isa":     true,
+		"uopsinfo/internal/lp":      true,
+		"uopsinfo/internal/measure": true,
+		"uopsinfo/internal/pipesim": true,
+		"uopsinfo/internal/store":   true,
+		"uopsinfo/internal/uarch":   true,
+		"uopsinfo/internal/xedspec": true,
+		"uopsinfo/internal/xmlout":  true,
+	}
+	pkgs, err := analysis.Load("../../..", "./...")
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	got := map[string]bool{}
+	for _, p := range pkgs {
+		if analysis.HasPackageDirective(p.Files, "deterministic") {
+			got[p.ImportPath] = true
+		}
+		if analysis.HasPackageDirective(p.Files, "arena") && p.ImportPath != "uopsinfo/internal/pipesim" {
+			t.Errorf("%s carries //uopslint:arena; only pipesim owns arenas", p.ImportPath)
+		}
+	}
+	for path := range want {
+		if !got[path] {
+			t.Errorf("%s should carry //uopslint:deterministic", path)
+		}
+	}
+	for path := range got {
+		if !want[path] {
+			t.Errorf("%s carries //uopslint:deterministic but is not in the pinned list; update the list if this is deliberate", path)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Package uopslint assembles the repository's analyzer suite: the five
+// checks that turn the doc-comment contracts of PRs 1–8 into
+// compiler-grade findings. cmd/uopslint runs them as a multichecker; the
+// repo-wide meta-test in this package keeps the tree finding-free.
+package uopslint
+
+import (
+	"uopsinfo/internal/analysis"
+	"uopsinfo/internal/analysis/arenaindex"
+	"uopsinfo/internal/analysis/detrange"
+	"uopsinfo/internal/analysis/seqretain"
+	"uopsinfo/internal/analysis/statsatomic"
+	"uopsinfo/internal/analysis/wallclock"
+)
+
+// Suite returns the full analyzer suite in reporting order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detrange.Analyzer,
+		wallclock.Analyzer,
+		arenaindex.Analyzer,
+		seqretain.Analyzer,
+		statsatomic.Analyzer,
+	}
+}
+
+// Names returns the names of every analyzer in the suite; it is the set
+// of names an //uopslint:ignore directive may legally reference, even
+// when only a subset of analyzers runs.
+func Names() []string {
+	suite := Suite()
+	names := make([]string, len(suite))
+	for i, a := range suite {
+		names[i] = a.Name
+	}
+	return names
+}

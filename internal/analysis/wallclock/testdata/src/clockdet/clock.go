@@ -1,0 +1,31 @@
+// Package clockdet opts into the deterministic discipline and then breaks
+// it: wall-clock reads and randomness imports are findings, and a
+// justified exception is suppressed with an annotation.
+//uopslint:deterministic
+package clockdet
+
+import (
+	_ "math/rand" // want `deterministic package imports randomness source "math/rand"`
+	"time"
+)
+
+// Stamp reads the wall clock, which a deterministic package must not.
+func Stamp() time.Time {
+	return time.Now() // want `deterministic package calls time\.Now`
+}
+
+// Age measures elapsed wall time.
+func Age(t time.Time) time.Duration {
+	return time.Since(t) // want `deterministic package calls time\.Since`
+}
+
+// Format only renders a caller-supplied time: clean.
+func Format(t time.Time) string {
+	return t.Format(time.RFC3339)
+}
+
+// SweepAge is a justified exception, suppressed with a reason.
+func SweepAge(t time.Time) time.Duration {
+	//uopslint:ignore wallclock age only gates garbage collection, never results
+	return time.Since(t)
+}

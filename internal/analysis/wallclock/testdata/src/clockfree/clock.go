@@ -1,0 +1,10 @@
+// Package clockfree has no deterministic directive: wall-clock use is
+// allowed and the analyzer must stay silent.
+package clockfree
+
+import "time"
+
+// Stamp may read the wall clock freely here.
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,82 @@
+// Package wallclock forbids wall-clock and randomness sources in packages
+// that promise deterministic results.
+//
+// Every guarantee the characterization pipeline makes — byte-identical XML
+// for any worker count, honest persistent cache keys, resumable runs that
+// merge to the same bytes as cold runs — rests on the simulator, the
+// characterization algorithms and the serialization layers being pure
+// functions of their inputs. A single time.Now or math/rand call in one of
+// those packages breaks that silently: results still look plausible, they
+// just stop being reproducible. Packages opt in with a
+// //uopslint:deterministic directive next to their package clause;
+// wallclock then flags every use of time.Now, time.Since, time.Until,
+// time.Sleep, timer/ticker construction, and any import of math/rand,
+// math/rand/v2 or crypto/rand. Service and fleet-transport packages
+// (timeouts, backoff, latency metrics) simply do not carry the directive.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"uopsinfo/internal/analysis"
+)
+
+// Analyzer flags wall-clock and randomness use in packages marked
+// //uopslint:deterministic.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/time.Since/math-rand in //uopslint:deterministic packages " +
+		"(determinism contract of the characterization pipeline, PRs 1-8)",
+	Run: run,
+}
+
+// forbiddenTimeFuncs are the functions of package time whose results (or
+// scheduling effects) depend on the wall clock.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// forbiddenImports are randomness sources; importing them at all in a
+// deterministic package is a finding.
+var forbiddenImports = map[string]bool{
+	"math/rand": true, "math/rand/v2": true, "crypto/rand": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.HasPackageDirective(pass.Files, "deterministic") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if forbiddenImports[path] {
+				pass.Reportf(imp.Pos(),
+					"deterministic package imports randomness source %q", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if _, isFunc := obj.(*types.Func); isFunc && forbiddenTimeFuncs[obj.Name()] {
+				pass.Reportf(sel.Pos(),
+					"deterministic package calls time.%s (wall clock); results must be pure functions of their inputs",
+					obj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"uopsinfo/internal/analysis/analysistest"
+	"uopsinfo/internal/analysis/wallclock"
+)
+
+func TestWallclockDeterministicPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", "clockdet", wallclock.Analyzer)
+}
+
+func TestWallclockUnmarkedPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", "clockfree", wallclock.Analyzer)
+}

@@ -4,6 +4,8 @@
 // microbenchmark generator needs: picking registers that do or do not
 // introduce dependencies, building dependency chains, and printing Intel
 // syntax.
+//
+//uopslint:deterministic
 package asmgen
 
 import (

@@ -261,6 +261,7 @@ func (c *Characterizer) transferChain(from, to isa.Reg) (asmgen.Sequence, error)
 func (c *Characterizer) breakOtherDeps(in *isa.Instr, inst *asmgen.Inst, alloc *asmgen.Allocator, s, d int) (asmgen.Sequence, error) {
 	var seq asmgen.Sequence
 	var avoid []isa.Reg
+	//uopslint:ignore detrange avoid is an exclusion set: the allocator folds it into a family-keyed map, so its order never reaches generated code
 	for r := range inst.RegsUsed() {
 		avoid = append(avoid, r)
 	}

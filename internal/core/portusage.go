@@ -61,6 +61,7 @@ func (c *Characterizer) PortUsage(in *isa.Instr, maxLatency float64) (PortUsage,
 		return nil, err
 	}
 	var avoid []isa.Reg
+	//uopslint:ignore detrange avoid is an exclusion set: the allocator folds it into a family-keyed map, so its order never reaches generated code
 	for r := range testInst.RegsUsed() {
 		avoid = append(avoid, r)
 	}

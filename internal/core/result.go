@@ -13,6 +13,8 @@
 // The algorithms only interact with the processor through the measurement
 // harness (package measure), i.e. through "run this code sequence and report
 // cycles and µops per port" — the same interface they use on real hardware.
+//
+//uopslint:deterministic
 package core
 
 import (
@@ -28,20 +30,11 @@ import (
 // (e.g. "015" for a µop that can use ports 0, 1 and 5).
 type PortUsage map[string]float64
 
-// TotalUops sums the µops over all combinations.
-func (pu PortUsage) TotalUops() float64 {
-	sum := 0.0
-	for _, n := range pu {
-		sum += n
-	}
-	return sum
-}
-
-// String renders the usage in the paper's notation, e.g. "1*p0+1*p015".
-func (pu PortUsage) String() string {
-	if len(pu) == 0 {
-		return "0"
-	}
+// Keys returns the port-combination keys sorted by combination size, then
+// lexicographically — the paper's presentation order. Every iteration that
+// feeds ordered output or floating-point accumulation goes through Keys:
+// map iteration order must never reach a result.
+func (pu PortUsage) Keys() []string {
 	keys := make([]string, 0, len(pu))
 	for k := range pu {
 		keys = append(keys, k)
@@ -52,6 +45,26 @@ func (pu PortUsage) String() string {
 		}
 		return keys[i] < keys[j]
 	})
+	return keys
+}
+
+// TotalUops sums the µops over all combinations (in Keys order: float
+// addition is not associative, so the sum must not depend on map iteration
+// order).
+func (pu PortUsage) TotalUops() float64 {
+	sum := 0.0
+	for _, k := range pu.Keys() {
+		sum += pu[k]
+	}
+	return sum
+}
+
+// String renders the usage in the paper's notation, e.g. "1*p0+1*p015".
+func (pu PortUsage) String() string {
+	if len(pu) == 0 {
+		return "0"
+	}
+	keys := pu.Keys()
 	parts := make([]string, 0, len(keys))
 	for _, k := range keys {
 		n := pu[k]

@@ -69,9 +69,12 @@ func (c *Characterizer) Throughput(in *isa.Instr, ports PortUsage) (ThroughputRe
 	// Computed throughput (Definition 1) from the port usage. Not defined
 	// for divider-based instructions (the divider is not fully pipelined).
 	if len(ports) > 0 && !in.UsesDivider {
+		// Build the LP input in PortUsage.Keys order: the solvers are
+		// floating-point, so constraint order must not depend on map
+		// iteration order.
 		groups := make([]lp.PortGroup, 0, len(ports))
-		for key, count := range ports {
-			groups = append(groups, lp.PortGroup{Ports: portsOfKey(key), Count: count})
+		for _, key := range ports.Keys() {
+			groups = append(groups, lp.PortGroup{Ports: portsOfKey(key), Count: ports[key]})
 		}
 		if tp, err := lp.MinMaxLoad(groups, c.gen.arch.NumPorts()); err == nil {
 			result.Computed = tp

@@ -414,10 +414,12 @@ func (e *Engine) Stats() Stats {
 
 	e.mu.Lock()
 	entries := make([]*charEntry, 0, len(e.chars))
+	//uopslint:ignore detrange entries only feed PoolStats.Add, a commutative integer aggregation
 	for _, ent := range e.chars {
 		entries = append(entries, ent)
 	}
 	seqEntries := make([]*seqPoolEntry, 0, len(e.seqPools))
+	//uopslint:ignore detrange entries only feed PoolStats.Add, a commutative integer aggregation
 	for _, ent := range e.seqPools {
 		seqEntries = append(seqEntries, ent)
 	}

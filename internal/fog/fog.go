@@ -15,6 +15,8 @@
 //
 // These baselines exist so the paper's "prior work is less accurate/precise"
 // comparisons can be regenerated against the same simulated hardware.
+//
+//uopslint:deterministic
 package fog
 
 import (

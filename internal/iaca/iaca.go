@@ -13,12 +13,15 @@
 // deterministic background rate of small errors), so the agreement statistics
 // of Table 1 and the case studies of Section 7.2/7.3 can be regenerated
 // without the proprietary binary.
+//
+//uopslint:deterministic
 package iaca
 
 import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"sort"
 	"strings"
 
 	"uopsinfo/internal/asmgen"
@@ -321,8 +324,16 @@ func (a *Analyzer) Analyze(code asmgen.Sequence) (Report, error) {
 		if !ok {
 			return Report{}, fmt.Errorf("iaca %s: instruction %s not supported", a.version, inst.Variant.Name)
 		}
-		for key, n := range e.Usage {
-			groups = append(groups, lp.PortGroup{Ports: portsOfKey(key), Count: float64(n)})
+		// Feed the scheduler in sorted-key order: it breaks assignment
+		// ties by group position, so map iteration order would otherwise
+		// reach the predicted port pressure.
+		usageKeys := make([]string, 0, len(e.Usage))
+		for key := range e.Usage {
+			usageKeys = append(usageKeys, key)
+		}
+		sort.Strings(usageKeys)
+		for _, key := range usageKeys {
+			groups = append(groups, lp.PortGroup{Ports: portsOfKey(key), Count: float64(e.Usage[key])})
 		}
 		total += e.Uops
 		latency += float64(maxInt(1, e.Uops))

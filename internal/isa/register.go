@@ -8,6 +8,8 @@
 // benchmark generator needs (operand types and widths, read/write attributes,
 // implicit operands such as status flags, and instruction attributes such as
 // "uses the divider" or "is a serializing instruction").
+//
+//uopslint:deterministic
 package isa
 
 import "fmt"

@@ -14,6 +14,8 @@
 //   - Simplex: a small dense two-phase simplex solver for general linear
 //     programs, used to solve the paper's LP formulation directly; the two
 //     solvers are validated against each other in the tests.
+//
+//uopslint:deterministic
 package lp
 
 import (

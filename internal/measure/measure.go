@@ -11,6 +11,8 @@
 // the processor. The fixed overhead of the serializing instructions and
 // counter reads is modelled explicitly so that the differencing step of the
 // protocol remains meaningful.
+//
+//uopslint:deterministic
 package measure
 
 import (

@@ -33,6 +33,9 @@
 // consequently carries mutable per-run
 // state and must not be used from multiple goroutines concurrently; use
 // Clone to obtain independent Machines for concurrent workers.
+//
+//uopslint:deterministic
+//uopslint:arena
 package pipesim
 
 import (
@@ -127,6 +130,15 @@ type Config struct {
 // maxPorts bounds the per-port bitmasks and load tables; all modelled
 // generations have 6 or 8 execution ports.
 const maxPorts = 16
+
+// idx32 is the single funnel for narrowing wide integers into the int32
+// arena indices and cycle counts used throughout the simulator. In race
+// builds assert32 panics on values outside the int32 range; in production
+// builds it is empty and the funnel compiles down to a bare conversion.
+func idx32(v int) int32 {
+	assert32(v)
+	return int32(v)
+}
 
 // numFlagVals is the size of the status-flag scoreboard.
 const numFlagVals = int(isa.NumFlags)
@@ -386,7 +398,7 @@ func (m *Machine) perfFor(in *isa.Instr) *uarch.InstrPerf {
 
 // newVal appends a renamed value to the arena and returns its index.
 func (m *Machine) newVal(ready int32, known bool, dom isa.Domain) int32 {
-	idx := int32(len(m.vals))
+	idx := idx32(len(m.vals))
 	m.vals = append(m.vals, dynVal{ready: ready, waiters: -1, known: known, domain: dom})
 	return idx
 }
@@ -503,7 +515,7 @@ func (m *Machine) rename(code asmgen.Sequence) (int, error) {
 			uix := len(m.uops)
 			m.uops = append(m.uops, dynUop{
 				divider: spec.Divider,
-				divOcc:  int32(spec.DivOccupancy),
+				divOcc:  idx32(spec.DivOccupancy),
 				domain:  domain,
 			})
 			du := &m.uops[uix]
@@ -521,13 +533,13 @@ func (m *Machine) rename(code asmgen.Sequence) (int, error) {
 			}
 			du.portMask = mask
 			if spec.Divider && m.cfg.DividerValues == FastDividerValues {
-				du.divOcc = int32(perf.DivOccupancyLowValues)
+				du.divOcc = idx32(perf.DivOccupancyLowValues)
 			}
 
 			// Resolve reads. Store-address µops only depend on the address
 			// registers of the memory operand, not on the previous memory
 			// contents.
-			du.rdStart = int32(len(m.readIdx))
+			du.rdStart = idx32(len(m.readIdx))
 			for _, ref := range spec.Reads {
 				if zeroIdiom && ref.Kind == uarch.ValOperand && in.Operands[ref.Index].Kind == isa.OpReg {
 					continue // the idiom breaks the dependency on the register
@@ -535,7 +547,7 @@ func (m *Machine) rename(code asmgen.Sequence) (int, error) {
 				m.resolveReads(inst, ref, spec.StoreAddr)
 			}
 			// Resolve writes (partial-register merges append extra reads).
-			du.wrStart = int32(len(m.writeIdx))
+			du.wrStart = idx32(len(m.writeIdx))
 			for wi, ref := range spec.Writes {
 				lat := spec.LatencyTo(wi)
 				if spec.Load {
@@ -547,7 +559,7 @@ func (m *Machine) rename(code asmgen.Sequence) (int, error) {
 				if lat < 1 && !du.eliminated {
 					lat = 1
 				}
-				m.resolveWrites(inst, ref, domain, int32(lat))
+				m.resolveWrites(inst, ref, domain, idx32(lat))
 				if ref.Kind == uarch.ValOperand && ref.Index < len(in.Operands) {
 					op := in.Operands[ref.Index]
 					if op.Kind == isa.OpReg {
@@ -557,8 +569,8 @@ func (m *Machine) rename(code asmgen.Sequence) (int, error) {
 					}
 				}
 			}
-			du.rdEnd = int32(len(m.readIdx))
-			du.wrEnd = int32(len(m.writeIdx))
+			du.rdEnd = idx32(len(m.readIdx))
+			du.wrEnd = idx32(len(m.writeIdx))
 
 			// A µop never waits for values it produces itself (this can
 			// otherwise happen through partial-register merge reads when two
@@ -773,7 +785,7 @@ func (m *Machine) wireUop(ui int32, u *dynUop) int32 {
 		if v.known {
 			t := v.ready
 			if !u.eliminated {
-				t += int32(bypassDelay(v.domain, u.domain))
+				t += idx32(bypassDelay(v.domain, u.domain))
 			}
 			if t > readyAt {
 				readyAt = t
@@ -783,7 +795,7 @@ func (m *Machine) wireUop(ui int32, u *dynUop) int32 {
 		pending++
 		m.wnUop = append(m.wnUop, ui)
 		m.wnNext = append(m.wnNext, v.waiters)
-		v.waiters = int32(len(m.wnUop) - 1)
+		v.waiters = idx32(len(m.wnUop) - 1)
 	}
 	u.pending = pending
 	u.readyAt = readyAt
@@ -803,7 +815,7 @@ func (m *Machine) wake(vi int32) {
 		u := &m.uops[ui]
 		t := v.ready
 		if !u.eliminated {
-			t += int32(bypassDelay(v.domain, u.domain))
+			t += idx32(bypassDelay(v.domain, u.domain))
 		}
 		if t > u.readyAt {
 			u.readyAt = t
@@ -898,7 +910,7 @@ func (m *Machine) execute() Counters {
 		// Config.SchedulerSize).
 		issued := 0
 		for nextIssue < len(m.uops) && issued < issueWidth && schedCount < schedSize {
-			ui := int32(nextIssue)
+			ui := idx32(nextIssue)
 			nextIssue++
 			issued++
 			u := &m.uops[ui]
@@ -912,7 +924,7 @@ func (m *Machine) execute() Counters {
 			}
 			schedCount++
 			if m.wireUop(ui, u) == 0 {
-				if u.readyAt <= int32(cycle) {
+				if u.readyAt <= idx32(cycle) {
 					// Ready at issue (the common case for independent
 					// code): skip the heap round-trip, the µop arrives
 					// this very cycle. Issue order is program order, so
@@ -933,7 +945,7 @@ func (m *Machine) execute() Counters {
 		for ei := 0; ei < len(m.elimReady); ei++ {
 			ui := m.elimReady[ei]
 			u := &m.uops[ui]
-			ready := int32(cycle)
+			ready := idx32(cycle)
 			if u.readyAt > ready {
 				ready = u.readyAt
 			}
@@ -1051,7 +1063,7 @@ func (m *Machine) execute() Counters {
 				for wi := u.wrStart; wi < u.wrEnd; wi++ {
 					vi := m.writeIdx[wi]
 					v := &m.vals[vi]
-					v.ready = int32(cycle) + m.writeLat[wi]
+					v.ready = idx32(cycle) + m.writeLat[wi]
 					v.known = true
 					v.domain = u.domain
 					if int(v.ready) > finish {

@@ -4,3 +4,7 @@ package pipesim
 
 // raceEnabled gates the Reset invariant checks; see race_enabled.go.
 const raceEnabled = false
+
+// assert32 is the race-build range check behind idx32; in non-race builds it
+// is empty and inlines away, keeping the funnel free on the hot path.
+func assert32(int) {}

@@ -2,7 +2,22 @@
 
 package pipesim
 
+import (
+	"fmt"
+	"math"
+)
+
 // raceEnabled gates the Reset invariant checks: they run exactly where the
 // determinism and differential suites run (make ci uses -race), and stay out
 // of the production hot path.
 const raceEnabled = true
+
+// assert32 panics if v does not fit in an int32. It runs only in race builds
+// (where the determinism and differential suites run), so arena indices are
+// range-checked exactly where correctness is validated and free in
+// production builds.
+func assert32(v int) {
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		panic(fmt.Sprintf("pipesim: arena index %d overflows int32", v))
+	}
+}

@@ -23,6 +23,8 @@
 //     under a versioned index (KindVariantIndex) — the incremental tier:
 //     evicting or invalidating one variant only costs re-measuring that
 //     variant, and runs with different variant selections share entries.
+//
+//uopslint:deterministic
 package store
 
 import (
@@ -181,6 +183,7 @@ func (s *Store) sweepTmp() {
 	}
 	for _, m := range matches {
 		info, err := os.Stat(m)
+		//uopslint:ignore wallclock tmp-file age only gates garbage collection of crashed writers; it never reaches cache keys or measurement results
 		if err != nil || time.Since(info.ModTime()) < staleTmpAge {
 			continue
 		}

@@ -11,9 +11,14 @@
 // tables encode the behaviours the paper reports (AESDEC µop split on Sandy
 // Bridge, the SHLD same-register fast path on Skylake, MOVQ2DQ/MOVDQ2Q port
 // usage, ADC on Haswell, PBLENDVB on Nehalem, zero idioms, ...).
+//
+//uopslint:deterministic
 package uarch
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // ValKind distinguishes the two kinds of values a µop can read or write.
 type ValKind int
@@ -216,14 +221,12 @@ func FormatPortUsage(usage map[string]int) string {
 	}
 	// Sort by combination size, then lexicographically, mirroring the
 	// paper's presentation (smaller combinations first).
-	for i := 0; i < len(keys); i++ {
-		for j := i + 1; j < len(keys); j++ {
-			ki, kj := keys[i], keys[j]
-			if len(kj) < len(ki) || (len(kj) == len(ki) && kj < ki) {
-				keys[i], keys[j] = keys[j], keys[i]
-			}
+	sort.Slice(keys, func(i, j int) bool {
+		if len(keys[i]) != len(keys[j]) {
+			return len(keys[i]) < len(keys[j])
 		}
-	}
+		return keys[i] < keys[j]
+	})
 	out := ""
 	for i, k := range keys {
 		if i > 0 {

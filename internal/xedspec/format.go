@@ -9,6 +9,8 @@
 // configuration files: the generator emits "datafiles" in a concise text
 // format, and the parser converts them into the isa.Set model (which can then
 // be serialized to XML by the isa package).
+//
+//uopslint:deterministic
 package xedspec
 
 import (

@@ -4,6 +4,8 @@
 // port usage, the operand-pair latencies and the throughput, both as measured
 // on the (simulated) hardware and, where available, as reported by the IACA
 // models.
+//
+//uopslint:deterministic
 package xmlout
 
 import (
