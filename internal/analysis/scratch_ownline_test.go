@@ -1,0 +1,18 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestOwnLineNoSpaceBeforeComment(t *testing.T) {
+	src := []byte("package p\n\nfunc f() int {\n\tx := 1//uopslint:ignore detrange reason\n\treturn x\n}\n")
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := parseIgnores(fset, []*ast_File{f}, map[string][]byte{"p.go": src}, map[string]bool{"detrange": true})
+	_ = ds
+}
