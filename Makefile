@@ -16,7 +16,7 @@ BENCH_GUARD_PCT ?= 30
 
 .PHONY: build test vet race bench bench-smoke bench-json bench-json-smoke \
 	bench-compare bench-guard fmt fmt-check lint lint-extra ci ci-cmd \
-	ci-service ci-fleet run-uopsd
+	ci-service ci-fleet ci-faults run-uopsd
 
 build:
 	$(GO) build ./...
@@ -164,11 +164,23 @@ ci-fleet:
 	$(GO) test -race -count=1 -run 'TestFleetFlagMatchesLocal' ./cmd/uopsinfo
 	$(GO) test -race -count=1 -run 'TestUopsdFleetFrontTier' ./cmd/uopsd
 
+# ci-faults forces every durability claim the store makes through the
+# fault-injecting filesystem (internal/store/errfs) under the race detector:
+# torn writes, ENOSPC mid-save, writers killed between temp-write, fsync and
+# rename, crashes at every step of segment compaction, budget-driven
+# eviction, degradation to read-only/compute-only and probe-driven recovery —
+# plus the engine plumbing (byte-identical XML under a byte budget and
+# against a dead store) and the /healthz + /metrics degradation surface.
+ci-faults:
+	$(GO) test -race -count=1 ./internal/store
+	$(GO) test -race -count=1 -run 'TestBudgetedStore|TestCrashedStore|TestEngineStatsExposeStoreLifecycle' ./internal/engine
+	$(GO) test -race -count=1 -run 'TestHealthzReportsDegradedStore|TestMetricsExposeStoreLifecycle|TestMetricsWithoutStore' ./internal/service
+
 # ci is the gate for every change: formatting and static checks (vet plus
 # the repository's own uopslint suite), the full test suite under the race
 # detector (the characterization scheduler, the engine and the service are
 # concurrent), a one-iteration pass over every benchmark, the
 # benchmark-trajectory pipeline smoke, the hot-path ns/op regression gate,
-# the command-level cache/backend/service checks, and the distributed-fleet
-# suite.
-ci: fmt-check vet lint race bench-smoke bench-json-smoke bench-guard ci-cmd ci-service ci-fleet
+# the command-level cache/backend/service checks, the distributed-fleet
+# suite, and the store fault-injection suite.
+ci: fmt-check vet lint race bench-smoke bench-json-smoke bench-guard ci-cmd ci-service ci-fleet ci-faults

@@ -23,6 +23,7 @@ import (
 	"uopsinfo/internal/iaca"
 	"uopsinfo/internal/measure/remote"
 	"uopsinfo/internal/report"
+	"uopsinfo/internal/store"
 	"uopsinfo/internal/uarch"
 )
 
@@ -34,6 +35,9 @@ func main() {
 	sample := flag.Int("sample", 20, "compare every n-th eligible instruction variant (1 = all)")
 	jobs := flag.Int("j", runtime.NumCPU(), "total number of parallel workers (1 = fully sequential)")
 	cacheDir := flag.String("cache", "", "directory of the persistent result store")
+	storeMaxBytes := flag.String("store-max-bytes", "", "byte budget of the persistent store (plain bytes or 512M/2G/...); cold digests are evicted LRU past it (empty: unbounded)")
+	storeMaxFiles := flag.Int64("store-max-files", 0, "file-count budget of the persistent store (0: unbounded)")
+	storeDurable := flag.Bool("store-durable", false, "fsync store writes before publishing them (one-shot runs default to off)")
 	backend := flag.String("backend", "", "measurement backend to run on (default: pipesim)")
 	fleet := flag.String("fleet", "", "comma-separated uopsd worker URLs to measure on (selects -backend remote; default: $"+remote.EnvFleet+")")
 	flag.Parse()
@@ -53,7 +57,16 @@ func main() {
 	}
 	fmt.Printf("IACA versions supporting %s: %s\n\n", arch.Name(), iaca.DescribeVersions(arch.Gen()))
 
-	eng, err := engine.New(engine.Config{Workers: *jobs, CacheDir: *cacheDir, Backend: resolvedBackend})
+	ecfg := engine.Config{
+		Workers: *jobs, CacheDir: *cacheDir, Backend: resolvedBackend,
+		StoreMaxFiles: *storeMaxFiles, StoreDurable: *storeDurable,
+	}
+	if *storeMaxBytes != "" {
+		if ecfg.StoreMaxBytes, err = store.ParseSize(*storeMaxBytes); err != nil {
+			log.Fatalf("-store-max-bytes: %v", err)
+		}
+	}
+	eng, err := engine.New(ecfg)
 	if err != nil {
 		log.Fatal(err)
 	}

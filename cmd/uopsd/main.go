@@ -5,6 +5,7 @@
 // Usage:
 //
 //	uopsd [-addr localhost:8631] [-j 8] [-cache DIR] [-backend pipesim]
+//	      [-store-max-bytes 2G] [-store-max-files N] [-store-durable=false]
 //	      [-fleet URL,URL] [-rate N -burst M] [-job-ttl 15m] [-drain 10s]
 //	      [-header-timeout 10s] [-idle-timeout 2m] [-v]
 //
@@ -52,6 +53,7 @@ import (
 	"uopsinfo/internal/measure"
 	"uopsinfo/internal/measure/remote"
 	"uopsinfo/internal/service"
+	"uopsinfo/internal/store"
 )
 
 // errUsage signals that the flag package already printed the diagnostic and
@@ -80,6 +82,9 @@ func run(ctx context.Context, args []string, stdout io.Writer, logger *log.Logge
 	addr := fs.String("addr", "localhost:8631", "listen address (host:port; port 0 picks an ephemeral port)")
 	jobs := fs.Int("j", runtime.NumCPU(), "total number of parallel measurement workers")
 	cacheDir := fs.String("cache", "", "directory of the persistent result store (results survive restarts and are shared with the CLI tools)")
+	storeMaxBytes := fs.String("store-max-bytes", "", "byte budget of the persistent store (plain bytes or 512M/2G/...); cold digests are evicted LRU past it (empty: unbounded)")
+	storeMaxFiles := fs.Int64("store-max-files", 0, "file-count budget of the persistent store; cold digests are evicted LRU past it (0: unbounded)")
+	storeDurable := fs.Bool("store-durable", true, "fsync store writes before publishing them, so completed saves survive a crash")
 	backendName := fs.String("backend", "", `measurement backend to serve from (default: "`+measure.DefaultBackend+`")`)
 	fleet := fs.String("fleet", "", "comma-separated uopsd worker URLs to measure on (selects -backend remote; default: $"+remote.EnvFleet+")")
 	headerTimeout := fs.Duration("header-timeout", 10*time.Second, "deadline for reading a request's headers")
@@ -107,7 +112,15 @@ func run(ctx context.Context, args []string, stdout io.Writer, logger *log.Logge
 	baseCtx, baseCancel := context.WithCancel(context.Background())
 	defer baseCancel()
 
-	ecfg := engine.Config{Workers: *jobs, CacheDir: *cacheDir, Backend: resolvedBackend, BaseContext: baseCtx}
+	ecfg := engine.Config{
+		Workers: *jobs, CacheDir: *cacheDir, Backend: resolvedBackend, BaseContext: baseCtx,
+		StoreMaxFiles: *storeMaxFiles, StoreDurable: *storeDurable,
+	}
+	if *storeMaxBytes != "" {
+		if ecfg.StoreMaxBytes, err = store.ParseSize(*storeMaxBytes); err != nil {
+			return fmt.Errorf("-store-max-bytes: %w", err)
+		}
+	}
 	if *verbose {
 		ecfg.Log = logger.Printf
 	}

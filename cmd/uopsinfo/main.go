@@ -41,6 +41,7 @@ import (
 	"uopsinfo/internal/iaca"
 	"uopsinfo/internal/measure"
 	"uopsinfo/internal/measure/remote"
+	"uopsinfo/internal/store"
 	"uopsinfo/internal/uarch"
 	"uopsinfo/internal/xmlout"
 )
@@ -70,6 +71,9 @@ type config struct {
 	verbose  bool
 	jobs     int
 	cache    string
+	storeMax string
+	storeCap int64
+	durable  bool
 	backend  string
 	fleet    string
 	backends bool
@@ -91,6 +95,9 @@ func run(args []string, stdout io.Writer, logger *log.Logger) error {
 	fs.BoolVar(&cfg.verbose, "v", false, "print progress")
 	fs.IntVar(&cfg.jobs, "j", runtime.NumCPU(), "total number of parallel workers (1 = fully sequential)")
 	fs.StringVar(&cfg.cache, "cache", "", "directory of the persistent result store (blocking sets, results and per-variant records are reused across runs)")
+	fs.StringVar(&cfg.storeMax, "store-max-bytes", "", "byte budget of the persistent store (plain bytes or 512M/2G/...); cold digests are evicted LRU past it (empty: unbounded)")
+	fs.Int64Var(&cfg.storeCap, "store-max-files", 0, "file-count budget of the persistent store; cold digests are evicted LRU past it (0: unbounded)")
+	fs.BoolVar(&cfg.durable, "store-durable", false, "fsync store writes before publishing them (a crash-lost cache entry only costs one re-measurement, so one-shot runs default to off)")
 	fs.StringVar(&cfg.backend, "backend", "", `measurement backend to run on (default: "`+measure.DefaultBackend+`"; see -backends)`)
 	fs.StringVar(&cfg.fleet, "fleet", "", "comma-separated uopsd worker URLs to measure on (selects -backend remote; default: $"+remote.EnvFleet+")")
 	fs.BoolVar(&cfg.backends, "backends", false, "list the registered measurement backends and exit")
@@ -128,7 +135,15 @@ func run(args []string, stdout io.Writer, logger *log.Logger) error {
 	if err != nil {
 		return err
 	}
-	ecfg := engine.Config{Workers: cfg.jobs, CacheDir: cfg.cache, Backend: resolvedBackend}
+	ecfg := engine.Config{
+		Workers: cfg.jobs, CacheDir: cfg.cache, Backend: resolvedBackend,
+		StoreMaxFiles: cfg.storeCap, StoreDurable: cfg.durable,
+	}
+	if cfg.storeMax != "" {
+		if ecfg.StoreMaxBytes, err = store.ParseSize(cfg.storeMax); err != nil {
+			return fmt.Errorf("-store-max-bytes: %w", err)
+		}
+	}
 	if cfg.verbose {
 		ecfg.BlockingProgress = func(gen uarch.Generation, done, total int, name string) {
 			if done%50 == 0 || done == total {

@@ -1,11 +1,15 @@
 package analysis
 
 import (
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"testing"
 )
 
+// TestOwnLineNoSpaceBeforeComment pins the trailing-directive case where the
+// comment directly abuts the code with no separating space: the directive
+// must parse as trailing (covering its own line), not as standing alone.
 func TestOwnLineNoSpaceBeforeComment(t *testing.T) {
 	src := []byte("package p\n\nfunc f() int {\n\tx := 1//uopslint:ignore detrange reason\n\treturn x\n}\n")
 	fset := token.NewFileSet()
@@ -13,6 +17,14 @@ func TestOwnLineNoSpaceBeforeComment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds := parseIgnores(fset, []*ast_File{f}, map[string][]byte{"p.go": src}, map[string]bool{"detrange": true})
-	_ = ds
+	ds := parseIgnores(fset, []*ast.File{f}, map[string][]byte{"p.go": src}, map[string]bool{"detrange": true})
+	if len(ds) != 1 {
+		t.Fatalf("parsed %d directives, want 1", len(ds))
+	}
+	if ds[0].ownLine {
+		t.Error("directive abutting code parsed as own-line")
+	}
+	if !ds[0].appliesTo("detrange", "p.go", 4) {
+		t.Error("trailing directive does not cover its own line")
+	}
 }

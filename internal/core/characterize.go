@@ -192,7 +192,11 @@ func (c *Characterizer) CharacterizeResume(opts Options, partial map[string]*Ins
 	if len(partial) > 0 {
 		missing = missing[:0:0]
 		for _, in := range instrs {
-			if partial[in.Name] == nil {
+			// A partial record that names a different variant than the slot
+			// it sits in cannot be trusted (a corrupted or mislabeled cache
+			// read slipped through): the variant is re-measured instead of
+			// being served under the wrong name.
+			if rec := partial[in.Name]; rec == nil || rec.Name != in.Name {
 				missing = append(missing, in)
 			}
 		}
@@ -219,7 +223,7 @@ func (c *Characterizer) CharacterizeResume(opts Options, partial map[string]*Ins
 		}
 	}
 	for _, in := range instrs {
-		if rec := partial[in.Name]; rec != nil && out.Results[in.Name] == nil {
+		if rec := partial[in.Name]; rec != nil && rec.Name == in.Name && out.Results[in.Name] == nil {
 			out.Results[in.Name] = rec
 		}
 	}

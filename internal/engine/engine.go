@@ -45,9 +45,23 @@ type Config struct {
 	Workers int
 	// CacheDir, if non-empty, enables the persistent result store rooted at
 	// that directory: discovered blocking sets, whole-ISA results and
-	// per-variant measurements are reused across process runs. Misses and
-	// corrupt entries silently fall through to recomputation.
+	// per-variant measurements are reused across process runs. Misses fall
+	// through to recomputation; corrupt entries additionally get counted and
+	// quarantined (see Stats.Store).
 	CacheDir string
+	// StoreMaxBytes and StoreMaxFiles, when positive, bound the persistent
+	// store: past a budget, whole cold digests are evicted
+	// least-recently-used, per-variant tier first. Zero means unbounded.
+	StoreMaxBytes int64
+	StoreMaxFiles int64
+	// StoreDurable selects full crash safety for store writes (fsync before
+	// the rename, directory sync after it). uopsd turns it on — its store is
+	// supposed to survive power cycles; the one-shot CLIs leave it off — a
+	// cache entry lost in a crash costs one re-measurement.
+	StoreDurable bool
+	// Store, if non-nil, is used instead of opening CacheDir — the seam for
+	// tests that need a store with an injected (fault-carrying) filesystem.
+	Store *store.Store
 	// Backend names the measurement backend (execution substrate) to build
 	// runners from, as registered in the measure package's backend registry.
 	// Empty selects measure.DefaultBackend; an unregistered name makes New
@@ -112,6 +126,10 @@ type Stats struct {
 	// hedges, per-worker health and latency) when the engine's backend
 	// drives one (the "remote" backend); nil otherwise.
 	Fleet *measure.FleetStats `json:"fleet,omitempty"`
+	// Store carries the persistent store's lifecycle state (per-tier sizes,
+	// degradation mode, corruption/quarantine/eviction/compaction counters)
+	// when a store is configured; nil otherwise.
+	Store *store.Stats `json:"store,omitempty"`
 }
 
 // Engine builds and caches one characterization stack per generation.
@@ -269,8 +287,19 @@ func New(cfg Config) (*Engine, error) {
 		flights:   make(map[store.Digest]*flight),
 		blockProg: make(map[uarch.Generation][2]int),
 	}
-	if cfg.CacheDir != "" {
-		st, err := store.Open(cfg.CacheDir)
+	if cfg.Store != nil {
+		e.st = cfg.Store
+	} else if cfg.CacheDir != "" {
+		durability := store.DurabilityRename
+		if cfg.StoreDurable {
+			durability = store.DurabilityFull
+		}
+		st, err := store.OpenOptions(cfg.CacheDir, store.Options{
+			Durability: durability,
+			MaxBytes:   cfg.StoreMaxBytes,
+			MaxFiles:   cfg.StoreMaxFiles,
+			Log:        cfg.Log,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -444,7 +473,21 @@ func (e *Engine) Stats() Stats {
 			s.Fleet = &fs
 		}
 	}
+	if e.st != nil {
+		ss := e.st.Stats()
+		s.Store = &ss
+	}
 	return s
+}
+
+// StoreMode reports the persistent store's degradation mode (store.ModeOK,
+// ModeReadOnly or ModeComputeOnly), or "" when no store is configured. The
+// service's health endpoint surfaces it.
+func (e *Engine) StoreMode() string {
+	if e.st == nil {
+		return ""
+	}
+	return e.st.Mode()
 }
 
 // seqPoolEntry builds one generation's raw-sequence measurement pool exactly
@@ -774,15 +817,11 @@ func (e *Engine) characterizeArch(arch *uarch.Arch, opts RunOptions, f *flight) 
 		// persisting) N variants does not re-hash the N-variant universe N
 		// times.
 		vdig = e.key(arch, opts.variantScope()).Digest()
-		if idx, ok := e.st.LoadVariantIndex(vdig); ok {
-			for _, name := range names {
-				if partial[name] != nil || !idx.Has(name) {
-					continue
-				}
-				if rec, ok := e.st.LoadVariant(vdig, name); ok {
-					partial[name] = rec
-				}
-			}
+		// LoadVariants resolves the whole selection through the index in one
+		// pass: loose records read individually, packed records read with one
+		// I/O per touched segment file.
+		for name, rec := range e.st.LoadVariants(vdig, names) {
+			partial[name] = rec
 		}
 		e.count(func(s *Stats) { s.VariantHits += len(partial) })
 

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"uopsinfo/internal/measure"
+	"uopsinfo/internal/store"
 )
 
 // metric is one exposition entry.
@@ -119,6 +120,55 @@ func (s *Service) metrics() []metric {
 				ms = append(ms, metric{name: pm.name, help: pm.help, typ: pm.typ,
 					labels: fmt.Sprintf(`{worker=%q}`, w.URL), value: pm.value(w)})
 			}
+		}
+	}
+	if st := es.Store; st != nil {
+		degraded := 0.0
+		if st.Mode != store.ModeOK {
+			degraded = 1
+		}
+		ms = append(ms,
+			metric{name: "uopsd_store_degraded", typ: "gauge",
+				help: "Whether the persistent store is in a degraded mode (read-only or compute-only).", value: degraded},
+			metric{name: "uopsd_store_degradations_total", typ: "counter",
+				help: "Transitions of the persistent store into a degraded mode.", value: float64(st.Degradations)},
+			metric{name: "uopsd_store_corrupt_total", typ: "counter",
+				help: "Corrupt persistent-store entries detected (undecodable, torn, mis-named).", value: float64(st.Corrupt)},
+			metric{name: "uopsd_store_quarantined_total", typ: "counter",
+				help: "Corrupt entries renamed aside to *.corrupt.", value: float64(st.Quarantined)},
+			metric{name: "uopsd_store_evicted_digests_total", typ: "counter",
+				help: "Whole digests evicted to stay within the store budget.", value: float64(st.EvictedDigests)},
+			metric{name: "uopsd_store_evicted_files_total", typ: "counter",
+				help: "Files removed by budget eviction.", value: float64(st.EvictedFiles)},
+			metric{name: "uopsd_store_evicted_bytes_total", typ: "counter",
+				help: "Bytes reclaimed by budget eviction.", value: float64(st.EvictedBytes)},
+			metric{name: "uopsd_store_compactions_total", typ: "counter",
+				help: "Per-variant tier compactions into packed segment files.", value: float64(st.Compactions)},
+			metric{name: "uopsd_store_compacted_files_total", typ: "counter",
+				help: "Loose per-variant files packed into segments.", value: float64(st.CompactedFiles)},
+			metric{name: "uopsd_store_swept_debris_total", typ: "counter",
+				help: "Debris files collected by startup integrity sweeps.", value: float64(st.SweptDebris)},
+			metric{name: "uopsd_store_saves_suppressed_total", typ: "counter",
+				help: "Store writes suppressed while the store was write-degraded.", value: float64(st.SavesSuppressed)})
+		// Bytes and files per storage tier, one labeled series each.
+		perTier := []struct {
+			tier  string
+			stats store.TierStats
+		}{
+			{"blocking", st.Blocking},
+			{"result", st.Result},
+			{"variant", st.Variant},
+			{"segment", st.Segment},
+		}
+		for _, pt := range perTier {
+			ms = append(ms, metric{name: "uopsd_store_bytes", typ: "gauge",
+				help:   "Persistent-store bytes per storage tier.",
+				labels: fmt.Sprintf(`{tier=%q}`, pt.tier), value: float64(pt.stats.Bytes)})
+		}
+		for _, pt := range perTier {
+			ms = append(ms, metric{name: "uopsd_store_files", typ: "gauge",
+				help:   "Persistent-store files per storage tier.",
+				labels: fmt.Sprintf(`{tier=%q}`, pt.tier), value: float64(pt.stats.Files)})
 		}
 	}
 	counts := s.jobs.counts()

@@ -385,6 +385,14 @@ func (s *Service) writeDoc(w http.ResponseWriter, format string, doc *xmlout.Doc
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// A degraded store does not fail the liveness probe — the service still
+	// serves every request, re-measuring instead of caching — but the probe
+	// says so: "degraded" plus the store's mode ("read-only" when saves are
+	// suppressed, "compute-only" when loads are too).
+	if mode := s.eng.StoreMode(); mode != "" && mode != store.ModeOK {
+		s.writeJSON(w, map[string]string{"status": "degraded", "store": mode})
+		return
+	}
 	s.writeJSON(w, map[string]string{"status": "ok"})
 }
 

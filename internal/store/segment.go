@@ -1,0 +1,234 @@
+package store
+
+// This file is the per-variant tier's segment compaction: a long-lived
+// digest accumulates one tiny JSON file per measured variant, and past a
+// threshold those loose files are packed into an append-style segment file
+// the index addresses by byte range. The on-disk segment format is
+// line-oriented: a header envelope (kind "segment") on the first line, then
+// one variant envelope per line — each record line is byte-identical to the
+// loose file it replaced, so a SegmentRef read decodes through the same
+// envelope path as a loose read.
+//
+// Crash ordering is the whole point: the segment is always fsynced (and the
+// directory synced) before the index that references it is written, and the
+// index is always durably written before the loose files it supersedes are
+// unlinked. Whichever step a crash lands on, the startup sweep sees either
+// an unreferenced segment (removed as debris; loose files still serve
+// reads) or superseded loose files (removed as debris; the segment serves
+// reads) — never a record with no readable home.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"sort"
+
+	"uopsinfo/internal/core"
+)
+
+// segmentHeader is the payload of a segment file's first line.
+type segmentHeader struct {
+	Digest string `json:"digest"`
+	Seq    int    `json:"seq"`
+	Count  int    `json:"count"`
+}
+
+// compactLocked packs the index's loose per-variant files into the next
+// segment file of the digest. Caller holds the digest lock and has already
+// durably merged idx to disk; compactLocked mutates idx (segment refs, next
+// seq) and re-saves it. Any error leaves the loose files — all still valid
+// and referenced — in place; a partially created segment is debris the next
+// sweep collects.
+func (s *Store) compactLocked(d Digest, idx *VariantIndex) error {
+	var names []string
+	for name := range idx.Entries {
+		if _, packed := idx.Segments[name]; !packed {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	segFile := d.segmentFilename(idx.Seq)
+	var buf bytes.Buffer
+	header, err := json.Marshal(segmentHeader{Digest: d.String(), Seq: idx.Seq, Count: len(names)})
+	if err != nil {
+		return fmt.Errorf("store: encoding segment header: %w", err)
+	}
+	env, err := json.Marshal(envelope{Version: Version, Kind: KindSegment, Payload: header})
+	if err != nil {
+		return fmt.Errorf("store: encoding segment header: %w", err)
+	}
+	buf.Write(env)
+	buf.WriteByte('\n')
+
+	refs := make(map[string]SegmentRef, len(names))
+	var packed []string // loose files to unlink once the index refers to the segment
+	for _, name := range names {
+		loose := d.VariantFilename(name)
+		data, err := s.fsys.ReadFile(filepath.Join(s.dir, loose))
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				continue // indexed but gone (evicted elsewhere); reads will re-measure
+			}
+			return fmt.Errorf("store: compacting %s: %w", loose, err)
+		}
+		var rec core.InstrResult
+		if !s.decode(data, KindVariant, &rec) || rec.Name != name {
+			// Packing corruption forever would be worse than losing it now.
+			s.quarantine(loose, "undecodable variant entry found by compaction")
+			delete(idx.Entries, name)
+			continue
+		}
+		refs[name] = SegmentRef{File: segFile, Offset: int64(buf.Len()), Len: int64(len(data))}
+		buf.Write(data)
+		buf.WriteByte('\n')
+		packed = append(packed, loose)
+	}
+	if len(refs) == 0 {
+		return nil
+	}
+
+	// Segment first, fsynced regardless of the store's durability level:
+	// loose files are about to be unlinked on the strength of this write.
+	written, err := s.writeFile(d.Prefix(), KindSegment, segFile, buf.Bytes(), true)
+	if err != nil {
+		return err
+	}
+	if !written {
+		return errors.New("store: compaction suppressed (store degraded)")
+	}
+
+	if idx.Segments == nil {
+		idx.Segments = make(map[string]SegmentRef, len(refs))
+	}
+	for name, ref := range refs {
+		idx.Segments[name] = ref
+	}
+	idx.Seq++
+	raw, err := json.Marshal(idx)
+	if err != nil {
+		return fmt.Errorf("store: encoding variant index: %w", err)
+	}
+	envData, err := json.Marshal(envelope{Version: Version, Kind: KindVariantIndex, Payload: raw})
+	if err != nil {
+		return fmt.Errorf("store: encoding variant index: %w", err)
+	}
+	written, err = s.writeFile(d.Prefix(), KindVariantIndex, d.filename(KindVariantIndex, ""), envData, true)
+	if err != nil {
+		return err
+	}
+	if !written {
+		return errors.New("store: compaction suppressed (store degraded)")
+	}
+
+	// Only now are the loose files redundant.
+	for _, loose := range packed {
+		if err := s.fsys.Remove(filepath.Join(s.dir, loose)); err != nil {
+			// Redundant but present: the sweep will collect it.
+			s.logf("store: compaction: removing %s: %v", loose, err)
+			continue
+		}
+		s.mu.Lock()
+		s.unaccountLocked(loose)
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	s.stats.Compactions++
+	s.stats.CompactedFiles += int64(len(packed))
+	s.mu.Unlock()
+	s.logf("store: compacted %d variant file(s) of %s into %s", len(packed), d.Prefix(), segFile)
+	return nil
+}
+
+// LoadVariants returns the cached measurement records for every hit among
+// names — loose or packed — reading the index once and each touched segment
+// file at most once. Misses (absent, corrupt, degraded) are simply not in
+// the returned map.
+func (s *Store) LoadVariants(d Digest, names []string) map[string]*core.InstrResult {
+	out := make(map[string]*core.InstrResult, len(names))
+	idx, ok := s.LoadVariantIndex(d)
+	if !ok {
+		return out
+	}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	bySeg := make(map[string][]string)
+	for _, name := range sorted {
+		if !idx.Has(name) {
+			continue
+		}
+		if ref, packed := idx.Segments[name]; packed {
+			bySeg[ref.File] = append(bySeg[ref.File], name)
+		} else if rec, ok := s.loadLooseVariant(d, name); ok {
+			out[name] = rec
+		}
+	}
+	var segs []string
+	for file := range bySeg {
+		segs = append(segs, file)
+	}
+	sort.Strings(segs)
+	for _, segFile := range segs {
+		s.loadSegmentRecords(idx, segFile, bySeg[segFile], out)
+	}
+	return out
+}
+
+// loadSegmentRecords resolves the named records out of one segment file: a
+// single record is read by byte range, several with one whole-file read.
+func (s *Store) loadSegmentRecords(idx *VariantIndex, segFile string, names []string, out map[string]*core.InstrResult) {
+	if !s.readAllowed() {
+		return
+	}
+	path := filepath.Join(s.dir, segFile)
+	if len(names) == 1 {
+		name := names[0]
+		ref := idx.Segments[name]
+		data, err := s.fsys.ReadAt(path, ref.Offset, ref.Len)
+		if err != nil {
+			if !errors.Is(err, fs.ErrNotExist) {
+				s.readFailed(err)
+			}
+			return
+		}
+		s.readOK()
+		if rec, ok := s.decodeSegmentRecord(data, name, segFile); ok {
+			out[name] = rec
+		}
+		return
+	}
+	data, err := s.fsys.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			s.readFailed(err)
+		}
+		return
+	}
+	s.readOK()
+	for _, name := range names {
+		ref := idx.Segments[name]
+		if ref.Offset < 0 || ref.Len <= 0 || ref.Offset+ref.Len > int64(len(data)) {
+			s.markCorrupt(fmt.Sprintf("segment ref for %q outside %s", name, segFile))
+			continue
+		}
+		if rec, ok := s.decodeSegmentRecord(data[ref.Offset:ref.Offset+ref.Len], name, segFile); ok {
+			out[name] = rec
+		}
+	}
+}
+
+// decodeSegmentRecord unwraps one packed record. A record that does not
+// decode — or names a different variant — is corruption; it is counted (a
+// single record of a shared segment cannot be quarantined aside, but the
+// re-measured variant will be re-saved loose, superseding the bad ref).
+func (s *Store) decodeSegmentRecord(data []byte, name, segFile string) (*core.InstrResult, bool) {
+	var rec core.InstrResult
+	if !s.decode(data, KindVariant, &rec) || rec.Name != name {
+		s.markCorrupt(fmt.Sprintf("undecodable packed record for %q in %s", name, segFile))
+		return nil, false
+	}
+	return &rec, true
+}

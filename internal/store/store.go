@@ -2,19 +2,28 @@
 // engine: it caches discovered blocking-instruction sets, whole-ISA
 // characterization results and individual per-variant measurements across
 // process runs, so the CLI tools do not have to re-measure from scratch on
-// every invocation.
+// every invocation — and it is built to do so for production lifetimes, not
+// just test runs: writes are crash-safe, corruption is detected, counted and
+// quarantined instead of silently shadowing a slot, disk budgets drive
+// eviction, the per-variant tier compacts into packed segment files, and a
+// disk that starts failing degrades the store to read-only and then
+// compute-only operation instead of failing requests.
 //
 // Entries are keyed by a content hash of everything a result depends on: the
 // microarchitecture generation, the measurement-backend fingerprint
 // (name@version), the measurement-protocol configuration, the full ISA
 // variant set, and a scope string describing what was computed (blocking
 // discovery vs. a characterization run and its options). Files are written
-// atomically (temp file + rename) inside a versioned JSON envelope. Every
-// load failure — missing file, unreadable file, corrupt JSON, version or
-// kind mismatch, unknown instruction variant — is reported as a plain cache
-// miss so callers silently fall through to recomputation.
+// atomically (temp file + rename; with Options.Durable additionally
+// fsync-before-rename plus a directory sync) inside a versioned JSON
+// envelope. A missing entry is a plain miss; an entry that exists but cannot
+// be decoded is corruption — it is counted, renamed aside to "*.corrupt" so
+// it stops shadowing the slot, and the caller falls through to
+// recomputation.
 //
-// The store has three tiers:
+// The store has three logical tiers, each grouped on disk by the digest of
+// its key (the digest prefix is part of every filename, which is what lets
+// the startup sweep and the eviction policy reason about files per digest):
 //
 //   - blocking sets (KindBlocking), one entry per generation;
 //   - whole-ISA results (KindResult), one entry per run configuration —
@@ -23,6 +32,13 @@
 //     under a versioned index (KindVariantIndex) — the incremental tier:
 //     evicting or invalidating one variant only costs re-measuring that
 //     variant, and runs with different variant selections share entries.
+//     Once a digest accumulates enough loose per-variant files they are
+//     compacted into packed append-style segment files (KindSegment); the
+//     index maps variant names to segment offsets.
+//
+// All I/O goes through the storefs.FS seam, so every durability claim above
+// is forced by fault-injection tests (internal/store/errfs) rather than
+// asserted.
 //
 //uopslint:deterministic
 package store
@@ -30,23 +46,28 @@ package store
 import (
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"uopsinfo/internal/core"
 	"uopsinfo/internal/isa"
 	"uopsinfo/internal/measure"
+	"uopsinfo/internal/store/storefs"
 )
 
 // Version is the on-disk format version. Bump it whenever the payload
 // structures or the key derivation change incompatibly; old files then read
 // as misses and are recomputed. (v2: backend fingerprint in the key,
-// per-variant tier.)
-const Version = 2
+// per-variant tier. v3: digest-grouped filenames, segment compaction,
+// quarantine and size accounting — files from older versions are collected
+// as debris by the startup sweep.)
+const Version = 3
 
 // Kinds of stored entries.
 const (
@@ -54,6 +75,7 @@ const (
 	KindResult       = "result"
 	KindVariant      = "variant"
 	KindVariantIndex = "varindex"
+	KindSegment      = "segment"
 )
 
 // Key identifies a cached entry by content: everything the cached value
@@ -113,13 +135,33 @@ func (d Digest) String() string {
 	return fmt.Sprintf("%x", d.sum)
 }
 
+// prefixLen is the length (in hex characters) of the digest prefix embedded
+// in every filename. 16 hex characters (8 bytes) keep accidental collisions
+// out of reach while letting the sweep and the eviction policy group a
+// directory listing by digest without any side index.
+const prefixLen = 16
+
+// Prefix returns the digest's filename prefix: the group identifier shared
+// by every file stored under this digest.
+func (d Digest) Prefix() string {
+	return fmt.Sprintf("%x", d.sum[:prefixLen/2])
+}
+
 // filename derives a store filename from the digest, an entry kind and an
-// extra discriminator (the variant name of per-variant entries).
+// extra discriminator (the variant name of per-variant entries). The name
+// embeds the digest prefix — "<kind>-<digest prefix>-<entry hash>.json" — so
+// files group by digest on disk.
 func (d Digest) filename(kind, extra string) string {
 	h := sha256.New()
 	h.Write(d.sum[:])
 	fmt.Fprintf(h, "kind=%s\nextra=%s\n", kind, extra)
-	return fmt.Sprintf("%s-%x.json", kind, h.Sum(nil)[:16])
+	return fmt.Sprintf("%s-%s-%x.json", kind, d.Prefix(), h.Sum(nil)[:8])
+}
+
+// segmentFilename names the seq-th packed segment of the digest's
+// per-variant tier.
+func (d Digest) segmentFilename(seq int) string {
+	return fmt.Sprintf("%s-%s-%08d.seg", KindSegment, d.Prefix(), seq)
 }
 
 // VariantFilename returns the store filename of the per-variant entry for
@@ -141,79 +183,186 @@ func (k Key) VariantFilename(name string) string {
 	return k.Digest().VariantFilename(name)
 }
 
-// envelope is the on-disk wrapper around every payload.
+// envelope is the on-disk wrapper around every payload, including each
+// record line inside a segment file.
 type envelope struct {
 	Version int             `json:"version"`
 	Kind    string          `json:"kind"`
 	Payload json.RawMessage `json:"payload"`
 }
 
-// Store is a directory of cached characterization results.
-type Store struct {
-	dir string
+// Durability selects how hard save pushes an entry toward stable storage.
+type Durability int
+
+const (
+	// DurabilityRename writes atomically (temp file + rename) but does not
+	// sync: a concurrent reader never observes a partial file, but a crash
+	// may lose — or tear — entries written shortly before it. The right
+	// trade for one-shot CLI runs, where a lost cache entry costs one
+	// re-measurement. Torn entries are detected and quarantined on the next
+	// read. This is the zero value.
+	DurabilityRename Durability = iota
+	// DurabilityFull additionally fsyncs the entry before the rename and
+	// syncs the directory after it, so a completed save survives a crash.
+	// The default for uopsd, whose store is supposed to outlive months of
+	// traffic (and any number of power cycles).
+	DurabilityFull
+)
+
+// Options configures a store beyond its directory.
+type Options struct {
+	// FS is the filesystem seam all I/O goes through. Nil selects the real
+	// filesystem (storefs.OS).
+	FS storefs.FS
+	// Durability selects the crash-safety level of saves; see the Durability
+	// constants. Segment compaction always syncs regardless, because it
+	// unlinks the loose files it packed.
+	Durability Durability
+	// MaxBytes and MaxFiles, when positive, bound the store: when a save
+	// pushes the totals past a budget, whole digests are evicted
+	// least-recently-used (per-variant tiers first) until the store fits
+	// again. Zero means unbounded.
+	MaxBytes int64
+	MaxFiles int64
+	// CompactAfter is how many loose per-variant files a digest may
+	// accumulate before they are compacted into a packed segment file. 0
+	// selects DefaultCompactAfter; negative disables compaction.
+	CompactAfter int
+	// Log, if non-nil, receives lifecycle diagnostics that must not fail an
+	// operation but should not vanish either: sweep debris counts,
+	// quarantined corruption, eviction and degradation transitions.
+	Log func(format string, args ...interface{})
 }
 
-// Open returns a store rooted at dir, creating the directory if necessary.
-// Stale temporary files left behind by writers that died between CreateTemp
-// and the atomic rename are swept away on open.
+// DefaultCompactAfter is the loose-file threshold at which a digest's
+// per-variant tier is compacted into a segment.
+const DefaultCompactAfter = 256
+
+// Store is a directory of cached characterization results.
+type Store struct {
+	dir          string
+	fsys         storefs.FS
+	durable      bool
+	maxBytes     int64
+	maxFiles     int64
+	compactAfter int
+	log          func(format string, args ...interface{})
+
+	// mu guards the accounting (per-digest groups, per-tier totals), the
+	// lifecycle counters and the degradation state. All counters are plain
+	// ints under this one mutex — none are touched atomically anywhere.
+	mu     sync.Mutex
+	groups map[string]*group
+	tiers  [tierCount]tierAcct
+	stats  Stats
+	health health
+}
+
+// Open returns a store rooted at dir with default options, creating the
+// directory if necessary: real filesystem, rename-only durability, no
+// budget. The startup sweep rebuilds the size accounting, validates every
+// envelope (quarantining corruption) and collects temp/quarantine debris.
 func Open(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenOptions(dir, Options{})
+}
+
+// OpenOptions is Open with explicit lifecycle options.
+func OpenOptions(dir string, opts Options) (*Store, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = storefs.OS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: opening %s: %w", dir, err)
 	}
-	s := &Store{dir: dir}
-	s.sweepTmp()
+	compactAfter := opts.CompactAfter
+	if compactAfter == 0 {
+		compactAfter = DefaultCompactAfter
+	}
+	s := &Store{
+		dir:          dir,
+		fsys:         fsys,
+		durable:      opts.Durability == DurabilityFull,
+		maxBytes:     opts.MaxBytes,
+		maxFiles:     opts.MaxFiles,
+		compactAfter: compactAfter,
+		log:          opts.Log,
+		groups:       make(map[string]*group),
+	}
+	debris := s.sweep()
+	if debris > 0 {
+		s.logf("store: startup sweep collected %d debris file(s) in %s", debris, dir)
+	}
+	// A store reopened with a lower budget than it was filled under trims at
+	// startup; waiting for the first write would leave a read-mostly daemon
+	// over budget indefinitely.
+	s.mu.Lock()
+	s.evictLocked("")
+	s.mu.Unlock()
 	return s, nil
 }
 
-// staleTmpAge is how old a "*.tmp" file must be before the sweep treats it
-// as debris. In-flight saves hold their temp file for milliseconds, so the
-// age gate keeps the sweep from unlinking a live writer's file — another
-// store over the same directory may be mid-save right now — while still
-// collecting what crashed writers left behind.
-const staleTmpAge = time.Hour
-
-// sweepTmp deletes stale "*.tmp" files in the store directory. Completed
-// writes leave no temporary file behind (save removes its temp file on every
-// error path), so anything matching the pattern and older than staleTmpAge
-// is debris from a writer that died between CreateTemp and the rename.
-func (s *Store) sweepTmp() {
-	matches, err := filepath.Glob(filepath.Join(s.dir, "*.tmp"))
-	if err != nil {
-		return
+func (s *Store) logf(format string, args ...interface{}) {
+	if s.log != nil {
+		s.log(format, args...)
 	}
-	for _, m := range matches {
-		info, err := os.Stat(m)
-		//uopslint:ignore wallclock tmp-file age only gates garbage collection of crashed writers; it never reaches cache keys or measurement results
-		if err != nil || time.Since(info.ModTime()) < staleTmpAge {
-			continue
-		}
-		os.Remove(m)
-	}
-}
-
-// idxLocks serializes index read-merge-write cycles per (directory, digest)
-// across every Store instance in the process: two engines — or two service
-// handlers — sharing one cache directory through separate Store values must
-// still contend on the same lock, or concurrent merges could interleave and
-// drop entries.
-var idxLocks sync.Map // string (dir \x00 digest) → *sync.Mutex
-
-func (s *Store) idxLock(d Digest) *sync.Mutex {
-	key := filepath.Clean(s.dir) + "\x00" + string(d.sum[:])
-	lock, _ := idxLocks.LoadOrStore(key, &sync.Mutex{})
-	return lock.(*sync.Mutex)
 }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
+// idxLocks serializes index read-merge-write cycles, variant writes,
+// compaction and eviction per (directory, digest group) across every Store
+// instance in the process: two engines — or two service handlers — sharing
+// one cache directory through separate Store values must still contend on
+// the same lock, or concurrent merges could interleave and drop entries.
+// Eviction only TryLocks, so a digest is never evicted mid-write.
+var idxLocks sync.Map // string (dir \x00 digest prefix) → *sync.Mutex
+
+func (s *Store) idxLock(d Digest) *sync.Mutex {
+	return s.prefixLock(d.Prefix())
+}
+
+func (s *Store) prefixLock(prefix string) *sync.Mutex {
+	key := filepath.Clean(s.dir) + "\x00" + prefix
+	lock, _ := idxLocks.LoadOrStore(key, &sync.Mutex{})
+	return lock.(*sync.Mutex)
+}
+
 // load reads and validates the entry in file, decoding the payload into out.
-// Any failure is a miss.
-func (s *Store) load(kind, file string, out interface{}) bool {
-	data, err := os.ReadFile(filepath.Join(s.dir, file))
-	if err != nil {
+// A missing file is a plain miss. A file that exists but cannot be decoded —
+// unreadable, torn, not JSON, wrong kind, stale version — is corruption: it
+// is counted, quarantined aside to "*.corrupt" (so it stops shadowing the
+// slot) and reported as a miss. Only an envelope from a *newer* format
+// version is left in place: that is another, newer process sharing the
+// directory, not damage.
+func (s *Store) load(d Digest, kind, file string, out interface{}) bool {
+	if !s.readAllowed() {
 		return false
 	}
+	path := filepath.Join(s.dir, file)
+	data, err := s.fsys.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return false
+		}
+		s.readFailed(err)
+		return false
+	}
+	s.readOK()
+	s.touch(d.Prefix())
+	if !s.decode(data, kind, out) {
+		s.quarantine(file, fmt.Sprintf("undecodable %s entry", kind))
+		return false
+	}
+	return true
+}
+
+// decode unwraps one envelope of the expected kind into out. It reports
+// false for anything undecodable or mismatched — except a newer-version
+// envelope, which is also reported false (a miss) but is not corruption;
+// newerVersion distinguishes the two for load.
+func (s *Store) decode(data []byte, kind string, out interface{}) bool {
 	var env envelope
 	if err := json.Unmarshal(data, &env); err != nil {
 		return false
@@ -224,12 +373,48 @@ func (s *Store) load(kind, file string, out interface{}) bool {
 	return json.Unmarshal(env.Payload, out) == nil
 }
 
+// newerVersion reports whether data holds a well-formed envelope from a
+// newer on-disk format version; such files belong to a newer process sharing
+// the directory and must not be quarantined.
+func newerVersion(data []byte) bool {
+	var env envelope
+	return json.Unmarshal(data, &env) == nil && env.Version > Version
+}
+
+// quarantine moves a corrupt entry aside to "<file>.corrupt": corruption is
+// counted and surfaced instead of silently shadowing the slot forever, and
+// the recomputed entry can be re-saved under the original name. A newer
+// process's files are spared (see newerVersion); losing a rename race with a
+// concurrent quarantiner is fine.
+func (s *Store) quarantine(file, reason string) {
+	path := filepath.Join(s.dir, file)
+	if data, err := s.fsys.ReadFile(path); err == nil && newerVersion(data) {
+		return
+	}
+	err := s.fsys.Rename(path, path+corruptSuffix)
+	s.mu.Lock()
+	s.stats.Corrupt++
+	if err == nil {
+		s.stats.Quarantined++
+		s.unaccountLocked(file)
+	}
+	s.mu.Unlock()
+	s.logf("store: quarantined %s: %s", file, reason)
+}
+
 // save writes an entry atomically: the envelope is written to a temporary
 // file in the store directory and renamed into place, so concurrent readers
-// never observe a partial file. The temporary file is removed on every error
-// path — a failed save must not leak it — and sweepTmp cleans up after
-// writers that died before reaching either the rename or the cleanup.
-func (s *Store) save(kind, file string, payload interface{}) (err error) {
+// never observe a partial file. With DurabilityFull (or forceSync) the data
+// is fsynced before the rename and the directory synced after it, so the
+// completed save survives a crash. The temporary file is removed on every
+// error path — a failed save must not leak it — and the startup sweep cleans
+// up after writers that died before reaching either the rename or the
+// cleanup.
+//
+// While the store is write-degraded (see Stats.Mode), saves are suppressed:
+// they count as SavesSuppressed and return nil, and every probeEvery-th
+// attempt runs for real to detect recovery.
+func (s *Store) save(d Digest, kind, file string, payload interface{}) error {
 	raw, err := json.Marshal(payload)
 	if err != nil {
 		return fmt.Errorf("store: encoding %s entry: %w", kind, err)
@@ -238,26 +423,58 @@ func (s *Store) save(kind, file string, payload interface{}) (err error) {
 	if err != nil {
 		return fmt.Errorf("store: encoding %s envelope: %w", kind, err)
 	}
-	tmp, err := os.CreateTemp(s.dir, kind+"-*.tmp")
-	if err != nil {
-		return fmt.Errorf("store: writing %s entry: %w", kind, err)
+	_, err = s.writeFile(d.Prefix(), kind, file, data, false)
+	return err
+}
+
+// writeFile is the raw crash-safe write path shared by save and segment
+// compaction. written reports whether data actually reached the directory —
+// false with a nil error means the write was suppressed by degraded mode,
+// which save treats as success but compaction must not (it unlinks files on
+// the strength of its writes).
+func (s *Store) writeFile(prefix, kind, file string, data []byte, forceSync bool) (written bool, err error) {
+	if !s.writeAllowed() {
+		return false, nil
 	}
 	defer func() {
 		if err != nil {
-			os.Remove(tmp.Name())
+			s.saveFailed(err)
+		} else {
+			s.saveOK()
+		}
+	}()
+	tmp, err := s.fsys.CreateTemp(s.dir, kind+"-*.tmp")
+	if err != nil {
+		return false, fmt.Errorf("store: writing %s entry: %w", kind, err)
+	}
+	defer func() {
+		if err != nil {
+			s.fsys.Remove(tmp.Name())
 		}
 	}()
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		return fmt.Errorf("store: writing %s entry: %w", kind, err)
+		return false, fmt.Errorf("store: writing %s entry: %w", kind, err)
+	}
+	if s.durable || forceSync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return false, fmt.Errorf("store: syncing %s entry: %w", kind, err)
+		}
 	}
 	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("store: writing %s entry: %w", kind, err)
+		return false, fmt.Errorf("store: writing %s entry: %w", kind, err)
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, file)); err != nil {
-		return fmt.Errorf("store: writing %s entry: %w", kind, err)
+	if err := s.fsys.Rename(tmp.Name(), filepath.Join(s.dir, file)); err != nil {
+		return false, fmt.Errorf("store: writing %s entry: %w", kind, err)
 	}
-	return nil
+	if s.durable || forceSync {
+		if err := s.fsys.SyncDir(s.dir); err != nil {
+			return false, fmt.Errorf("store: syncing %s directory: %w", kind, err)
+		}
+	}
+	s.account(prefix, kind, file, int64(len(data)))
+	return true, nil
 }
 
 // BlockingEntry is the serialized form of one blocking instruction: the
@@ -334,7 +551,7 @@ func (r *BlockingRecord) Restore(set *isa.Set) (*core.BlockingSet, bool) {
 // false on any kind of miss.
 func (s *Store) LoadBlocking(key Key) (*BlockingRecord, bool) {
 	var rec BlockingRecord
-	if !s.load(KindBlocking, key.filename(KindBlocking), &rec) {
+	if !s.load(key.Digest(), KindBlocking, key.filename(KindBlocking), &rec) {
 		return nil, false
 	}
 	return &rec, true
@@ -342,7 +559,7 @@ func (s *Store) LoadBlocking(key Key) (*BlockingRecord, bool) {
 
 // SaveBlocking persists a blocking record under the key.
 func (s *Store) SaveBlocking(key Key, rec *BlockingRecord) error {
-	return s.save(KindBlocking, key.filename(KindBlocking), rec)
+	return s.save(key.Digest(), KindBlocking, key.filename(KindBlocking), rec)
 }
 
 // LoadResult returns the cached whole-ISA characterization result for the
@@ -351,10 +568,13 @@ func (s *Store) SaveBlocking(key Key, rec *BlockingRecord) error {
 // from a cached result is byte-identical to XML rendered from the original.
 func (s *Store) LoadResult(key Key) (*core.ArchResult, bool) {
 	var res core.ArchResult
-	if !s.load(KindResult, key.filename(KindResult), &res) {
+	d := key.Digest()
+	file := key.filename(KindResult)
+	if !s.load(d, KindResult, file, &res) {
 		return nil, false
 	}
 	if res.Results == nil {
+		s.quarantine(file, "result entry without results")
 		return nil, false
 	}
 	return &res, true
@@ -362,17 +582,36 @@ func (s *Store) LoadResult(key Key) (*core.ArchResult, bool) {
 
 // SaveResult persists a whole-ISA characterization result under the key.
 func (s *Store) SaveResult(key Key, res *core.ArchResult) error {
-	return s.save(KindResult, key.filename(KindResult), res)
+	return s.save(key.Digest(), KindResult, key.filename(KindResult), res)
+}
+
+// SegmentRef locates one packed per-variant record: a byte range of a
+// segment file of the same digest.
+type SegmentRef struct {
+	File   string `json:"file"`
+	Offset int64  `json:"offset"`
+	Len    int64  `json:"len"`
 }
 
 // VariantIndex is the versioned directory of the per-variant tier for one
 // key (one generation, backend, measurement configuration, universe and
-// characterization scope): the set of variant names that have been
-// measured. Entry filenames are derived from the key digest, not stored. A
-// variant missing from the index — or whose entry file is missing or
-// corrupt — is a per-variant miss; only that variant is re-measured.
+// characterization scope): the set of variant names that have been measured,
+// and — for compacted names — where in which segment file their record
+// lives. A variant missing from the index, or whose entry file or segment
+// record is missing or corrupt, is a per-variant miss; only that variant is
+// re-measured.
 type VariantIndex struct {
+	// Digest is the full content digest (hex) the index belongs to. Entry
+	// filenames are derived from it; the startup sweep uses it to find loose
+	// files superseded by segments.
+	Digest string `json:"digest,omitempty"`
+	// Seq numbers the next segment file to be written for this digest.
+	Seq int `json:"seq,omitempty"`
+	// Entries is the set of measured variant names.
 	Entries map[string]bool `json:"entries"`
+	// Segments maps compacted variant names to their packed records. A name
+	// in Entries but not here is a loose per-variant file.
+	Segments map[string]SegmentRef `json:"segments,omitempty"`
 }
 
 // NewVariantIndex returns an empty index.
@@ -385,15 +624,29 @@ func (x *VariantIndex) Has(name string) bool {
 	return x != nil && x.Entries[name]
 }
 
+// loose reports how many of the index's entries are loose per-variant files
+// (not packed into a segment).
+func (x *VariantIndex) loose() int {
+	n := 0
+	for name := range x.Entries {
+		if _, packed := x.Segments[name]; !packed {
+			n++
+		}
+	}
+	return n
+}
+
 // LoadVariantIndex returns the per-variant index for the key digest, or ok
 // == false on any kind of miss (an absent index reads as an empty
 // per-variant tier).
 func (s *Store) LoadVariantIndex(d Digest) (*VariantIndex, bool) {
 	var idx VariantIndex
-	if !s.load(KindVariantIndex, d.filename(KindVariantIndex, ""), &idx) {
+	file := d.filename(KindVariantIndex, "")
+	if !s.load(d, KindVariantIndex, file, &idx) {
 		return nil, false
 	}
 	if idx.Entries == nil {
+		s.quarantine(file, "variant index without entries")
 		return nil, false
 	}
 	return &idx, true
@@ -410,45 +663,143 @@ func (s *Store) LoadVariantIndex(d Digest) (*VariantIndex, bool) {
 // the index well-formed and the reload-right-before-save merge shrinks the
 // race window to the save itself; a lost entry there only costs re-measuring
 // that variant once.
+//
+// Merge semantics for segments: a name the incoming index lists without a
+// segment ref was (re)written as a loose file, which supersedes any packed
+// record of the same name; a name with a ref was packed. Names the incoming
+// index does not list keep their on-disk state.
+//
+// When the merged index accumulates CompactAfter loose files, they are
+// compacted into a packed segment before the lock is released.
 func (s *Store) SaveVariantIndex(d Digest, idx *VariantIndex) error {
 	lock := s.idxLock(d)
 	lock.Lock()
 	defer lock.Unlock()
+	merged, err := s.mergeVariantIndexLocked(d, idx)
+	if err != nil {
+		return err
+	}
+	if s.compactAfter > 0 && merged.loose() >= s.compactAfter {
+		if err := s.compactLocked(d, merged); err != nil {
+			// Compaction is an optimization: its failure must not fail the
+			// save that triggered it. The loose files are all still valid.
+			s.logf("store: compacting %s: %v", d.Prefix(), err)
+		}
+	}
+	return nil
+}
+
+// mergeVariantIndexLocked merges idx into the on-disk index and saves the
+// union. Caller holds the digest lock.
+func (s *Store) mergeVariantIndexLocked(d Digest, idx *VariantIndex) (*VariantIndex, error) {
 	merged := NewVariantIndex()
+	merged.Digest = d.String()
 	if cur, ok := s.LoadVariantIndex(d); ok {
+		merged.Seq = cur.Seq
 		for name, present := range cur.Entries {
 			if present {
 				merged.Entries[name] = true
 			}
 		}
-	}
-	if idx != nil {
-		for name, present := range idx.Entries {
-			if present {
-				merged.Entries[name] = true
+		for name, ref := range cur.Segments {
+			if merged.Entries[name] {
+				if merged.Segments == nil {
+					merged.Segments = make(map[string]SegmentRef)
+				}
+				merged.Segments[name] = ref
 			}
 		}
 	}
-	return s.save(KindVariantIndex, d.filename(KindVariantIndex, ""), merged)
+	if idx != nil {
+		if idx.Seq > merged.Seq {
+			merged.Seq = idx.Seq
+		}
+		for name, present := range idx.Entries {
+			if !present {
+				continue
+			}
+			merged.Entries[name] = true
+			if ref, ok := idx.Segments[name]; ok {
+				if merged.Segments == nil {
+					merged.Segments = make(map[string]SegmentRef)
+				}
+				merged.Segments[name] = ref
+			} else {
+				// A fresh loose record supersedes a packed one.
+				delete(merged.Segments, name)
+			}
+		}
+	}
+	if err := s.save(d, KindVariantIndex, d.filename(KindVariantIndex, ""), merged); err != nil {
+		return nil, err
+	}
+	return merged, nil
 }
 
 // LoadVariant returns the cached measurement record of one instruction
-// variant, or ok == false on any kind of miss. Records round-trip exactly,
-// like whole-ISA results.
+// variant, or ok == false on any kind of miss. The loose file is tried
+// first (a fresh loose record supersedes a packed one), then the index's
+// segment ref. Records round-trip exactly, like whole-ISA results. Bulk
+// callers should use LoadVariants, which reads the index once and each
+// segment file at most once.
 func (s *Store) LoadVariant(d Digest, name string) (*core.InstrResult, bool) {
+	if rec, ok := s.loadLooseVariant(d, name); ok {
+		return rec, true
+	}
+	idx, ok := s.LoadVariantIndex(d)
+	if !ok {
+		return nil, false
+	}
+	ref, packed := idx.Segments[name]
+	if !packed {
+		return nil, false
+	}
+	out := make(map[string]*core.InstrResult, 1)
+	s.loadSegmentRecords(idx, ref.File, []string{name}, out)
+	rec, ok := out[name]
+	return rec, ok
+}
+
+// loadLooseVariant reads one loose per-variant file.
+func (s *Store) loadLooseVariant(d Digest, name string) (*core.InstrResult, bool) {
 	var rec core.InstrResult
-	if !s.load(KindVariant, d.VariantFilename(name), &rec) {
+	file := d.VariantFilename(name)
+	if !s.load(d, KindVariant, file, &rec) {
 		return nil, false
 	}
 	// A record that does not name the requested variant belongs to a
-	// different universe (hash collision or tampering); treat it as a miss.
+	// different universe (hash collision or tampering). It must not silently
+	// shadow the slot — that would re-measure the variant forever —
+	// so it is quarantined and counted like any other corruption.
 	if rec.Name != name {
+		s.quarantine(file, fmt.Sprintf("variant entry names %q, expected %q", rec.Name, name))
 		return nil, false
 	}
 	return &rec, true
 }
 
-// SaveVariant persists the measurement record of one instruction variant.
+// SaveVariant persists the measurement record of one instruction variant as
+// a loose file. The digest lock coordinates with eviction and compaction, so
+// a digest is never evicted mid-write.
 func (s *Store) SaveVariant(d Digest, name string, rec *core.InstrResult) error {
-	return s.save(KindVariant, d.VariantFilename(name), rec)
+	lock := s.idxLock(d)
+	lock.Lock()
+	defer lock.Unlock()
+	return s.save(d, KindVariant, d.VariantFilename(name), rec)
 }
+
+// corruptSuffix marks quarantined files; staleTmpAge bounds how long temp
+// and quarantine debris survives sweeps.
+const corruptSuffix = ".corrupt"
+
+// staleTmpAge is how old "*.tmp" and "*.corrupt" debris must be before the
+// sweep collects it. In-flight saves hold their temp file for milliseconds,
+// so the age gate keeps the sweep from unlinking a live writer's file —
+// another store over the same directory may be mid-save right now — while
+// still collecting what crashed writers left behind; quarantined files
+// likewise stay inspectable for a while before they are garbage-collected.
+const staleTmpAge = time.Hour
+
+// suffix helpers shared by the sweep and the classifier.
+func isTmp(name string) bool     { return strings.HasSuffix(name, ".tmp") }
+func isCorrupt(name string) bool { return strings.HasSuffix(name, corruptSuffix) }

@@ -187,13 +187,27 @@ func TestVariantRoundTrip(t *testing.T) {
 
 	// A record whose payload names a different variant (e.g. a corrupted or
 	// hand-moved file) must read as a miss, not be served under the wrong
-	// name.
+	// name — and it must be quarantined aside, not left to shadow the slot
+	// (and force a re-measurement) forever.
 	wrong := &core.InstrResult{Name: "IMUL_R64_R64", Mnemonic: "IMUL"}
-	if err := s.save(KindVariant, key.VariantFilename("ADD_R64_R64"), wrong); err != nil {
+	if err := s.save(dig, KindVariant, key.VariantFilename("ADD_R64_R64"), wrong); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := s.LoadVariant(dig, "ADD_R64_R64"); ok {
 		t.Error("mis-named variant record was not treated as a miss")
+	}
+	if st := s.Stats(); st.Corrupt != 1 || st.Quarantined != 1 {
+		t.Errorf("mis-named record not counted as corruption: %+v", st)
+	}
+	if _, err := os.Stat(filepath.Join(s.Dir(), key.VariantFilename("ADD_R64_R64")+corruptSuffix)); err != nil {
+		t.Errorf("mis-named record was not quarantined: %v", err)
+	}
+	// The quarantined slot is re-savable.
+	if err := s.SaveVariant(dig, rec.Name, rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.LoadVariant(dig, rec.Name); !ok {
+		t.Error("re-saving over a quarantined slot did not recover the entry")
 	}
 }
 
@@ -214,8 +228,13 @@ func TestVariantIndexRoundTrip(t *testing.T) {
 	if !ok {
 		t.Fatal("saved variant index not found")
 	}
-	if !reflect.DeepEqual(got, idx) {
-		t.Errorf("variant index did not round-trip:\ngot  %+v\nwant %+v", got, idx)
+	if !reflect.DeepEqual(got.Entries, idx.Entries) {
+		t.Errorf("variant index entries did not round-trip:\ngot  %+v\nwant %+v", got.Entries, idx.Entries)
+	}
+	// The save stamps the full digest into the index; the startup sweep
+	// depends on it to resolve packed names back to loose filenames.
+	if got.Digest != dig.String() {
+		t.Errorf("saved index records digest %q, want %q", got.Digest, dig.String())
 	}
 	if !got.Has("ADD_R64_R64") || got.Has("IMUL_R64_R64") {
 		t.Errorf("index membership wrong: %+v", got)
@@ -226,9 +245,12 @@ func TestVariantIndexRoundTrip(t *testing.T) {
 	}
 }
 
-// TestCorruptAndMismatchedFilesAreMisses checks the silent fall-through: a
+// TestCorruptAndMismatchedFilesAreMisses checks the fall-through: a
 // truncated file, non-JSON garbage, a version bump and a kind mismatch must
-// all read as plain misses rather than errors.
+// all read as misses rather than errors — and everything except the
+// future-version file (another, newer process's entry, not damage) must be
+// counted as corruption and quarantined aside instead of silently
+// shadowing the slot.
 func TestCorruptAndMismatchedFilesAreMisses(t *testing.T) {
 	s := openStore(t)
 	key := testKey("result")
@@ -277,6 +299,14 @@ func TestCorruptAndMismatchedFilesAreMisses(t *testing.T) {
 	if _, ok := s.LoadResult(key); ok {
 		t.Error("future-version file was not treated as a miss")
 	}
+	// A future-version file belongs to a newer process sharing the
+	// directory: it is a miss but must NOT be quarantined.
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("future-version file was quarantined: %v", err)
+	}
+	if st := s.Stats(); st.Corrupt != 2 {
+		t.Errorf("future-version file counted as corruption: %+v", st)
+	}
 
 	env.Version = Version
 	env.Kind = KindBlocking
@@ -289,7 +319,20 @@ func TestCorruptAndMismatchedFilesAreMisses(t *testing.T) {
 		t.Error("kind-mismatched file was not treated as a miss")
 	}
 
-	// After recomputation the entry can be re-saved over the corrupt file.
+	// Garbage, truncation and the kind mismatch are three corruption
+	// events, each quarantined aside under "*.corrupt".
+	if st := s.Stats(); st.Corrupt != 3 || st.Quarantined != 3 {
+		t.Errorf("corruption accounting wrong (want 3 corrupt, 3 quarantined): %+v", st)
+	}
+	if _, err := os.Stat(path + corruptSuffix); err != nil {
+		t.Errorf("corrupt file was not quarantined: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("quarantine left the corrupt file in place (stat err: %v)", err)
+	}
+
+	// After recomputation the entry can be re-saved over the quarantined
+	// slot.
 	if err := s.SaveResult(key, res); err != nil {
 		t.Fatal(err)
 	}
@@ -359,6 +402,17 @@ func TestVariantIndexConcurrentWriters(t *testing.T) {
 // another store over the same directory and must survive the sweep.
 func TestOpenSweepsStaleTempFiles(t *testing.T) {
 	dir := t.TempDir()
+	// A committed entry written by a real store must survive every sweep.
+	first, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("blocking")
+	if err := first.SaveBlocking(key, &BlockingRecord{}); err != nil {
+		t.Fatal(err)
+	}
+	keep := filepath.Join(dir, key.filename(KindBlocking))
+
 	stale := filepath.Join(dir, "result-12345.tmp")
 	if err := os.WriteFile(stale, []byte("half an envelope"), 0o644); err != nil {
 		t.Fatal(err)
@@ -371,11 +425,15 @@ func TestOpenSweepsStaleTempFiles(t *testing.T) {
 	if err := os.WriteFile(fresh, []byte("in flight"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	keep := filepath.Join(dir, "result-deadbeef.json")
-	if err := os.WriteFile(keep, []byte("{}"), 0o644); err != nil {
+	// A file from an older on-disk format version (v2 names had no digest
+	// prefix) is stale-format debris regardless of age.
+	v2 := filepath.Join(dir, "result-deadbeefdeadbeefdeadbeefdeadbeef.json")
+	if err := os.WriteFile(v2, []byte("{}"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(dir); err != nil {
+
+	s, err := Open(dir)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(stale); !os.IsNotExist(err) {
@@ -384,8 +442,20 @@ func TestOpenSweepsStaleTempFiles(t *testing.T) {
 	if _, err := os.Stat(fresh); err != nil {
 		t.Errorf("sweep deleted a fresh (possibly live) temp file: %v", err)
 	}
+	if _, err := os.Stat(v2); !os.IsNotExist(err) {
+		t.Errorf("stale-format entry survived Open (stat err: %v)", err)
+	}
 	if _, err := os.Stat(keep); err != nil {
 		t.Errorf("sweep touched a committed entry: %v", err)
+	}
+	// The sweep reports what it collected: the stale temp file and the
+	// stale-format entry, not the live entry or the fresh temp file.
+	if st := s.Stats(); st.SweptDebris != 2 {
+		t.Errorf("sweep reported %d debris files, want 2 (stats %+v)", st.SweptDebris, st)
+	}
+	// And it rebuilt the size accounting from the surviving entry.
+	if st := s.Stats(); st.Blocking.Files != 1 || st.Blocking.Bytes <= 0 {
+		t.Errorf("sweep did not rebuild blocking-tier accounting: %+v", s.Stats())
 	}
 }
 
